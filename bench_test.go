@@ -1,0 +1,350 @@
+// Package adasim's root benchmarks regenerate every table and figure of
+// the paper at reduced scale (one repetition, shortened runs) and report
+// the headline rates as benchmark metrics, plus ablation benches for the
+// design choices called out in DESIGN.md and micro-benchmarks of the hot
+// paths. cmd/tables produces the full-scale artefacts.
+package adasim
+
+import (
+	"sync"
+	"testing"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/driver"
+	"adasim/internal/experiments"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/mlmit"
+	"adasim/internal/nn"
+	"adasim/internal/panda"
+	"adasim/internal/perception"
+	"adasim/internal/safety"
+	"adasim/internal/scenario"
+	"adasim/internal/vehicle"
+)
+
+// benchCfg is the reduced campaign used by the table benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{Reps: 1, Steps: 3000, BaseSeed: 1}
+}
+
+// BenchmarkSimulationStep measures one closed-loop control cycle
+// (perception + injection + control + AEBS + driver + arbitration +
+// physics + monitors).
+func BenchmarkSimulationStep(b *testing.B) {
+	newPlatform := func(seed int64) *core.Platform {
+		p, err := core.NewPlatform(core.Options{
+			Scenario:              scenario.DefaultSpec(scenario.S1, 60),
+			Fault:                 fi.DefaultParams(fi.TargetMixed),
+			Interventions:         core.InterventionSet{Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent},
+			Seed:                  seed,
+			Steps:                 1 << 30, // never self-terminate on step count
+			ContinueAfterAccident: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	p := newPlatform(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Finished() { // reached the end of the map: fresh platform
+			b.StopTimer()
+			p = newPlatform(int64(i))
+			b.StartTimer()
+		}
+		p.Step()
+	}
+}
+
+// BenchmarkClosedLoopRun measures a full (shortened) end-to-end run.
+func BenchmarkClosedLoopRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Run(core.Options{
+			Scenario: scenario.DefaultSpec(scenario.S1, 60),
+			Seed:     int64(i),
+			Steps:    3000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the fault-free driving-performance table.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIV(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s4Accidents float64
+		for _, row := range res.Rows {
+			if row.Scenario == scenario.S4 {
+				s4Accidents = float64(row.Accidents) / float64(row.Runs)
+			}
+		}
+		b.ReportMetric(s4Accidents*100, "S4-accident-%")
+	}
+}
+
+// BenchmarkTableV regenerates the minimal lane-line-distance table.
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIV(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.TableV(res.Runs)
+		min := rows[0].MinDist
+		for _, r := range rows {
+			if r.MinDist < min {
+				min = r.MinDist
+			}
+		}
+		b.ReportMetric(min, "min-lane-dist-m")
+	}
+}
+
+// BenchmarkFigure5 regenerates the approach speed / lane-distance series.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := experiments.Figure5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(figs)), "figures")
+	}
+}
+
+// BenchmarkFigure6 regenerates the under-attack RD/speed series.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(fig.Series)), "series")
+	}
+}
+
+// BenchmarkTableVI regenerates the central fault-injection-vs-
+// interventions campaign (without the ML row; see BenchmarkTableVIML).
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableVI(benchCfg(), experiments.TableVIRows(nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c := res.Cell(fi.TargetRelDistance, "aeb-indep"); c != nil {
+			b.ReportMetric(c.Agg.Prevented*100, "rd-aebI-prevented-%")
+		}
+		if c := res.Cell(fi.TargetRelDistance, "none"); c != nil {
+			b.ReportMetric(c.Agg.A1Rate*100, "rd-bare-A1-%")
+		}
+		if c := res.Cell(fi.TargetCurvature, "none"); c != nil {
+			b.ReportMetric(c.Agg.A2Rate*100, "curv-bare-A2-%")
+		}
+	}
+}
+
+var (
+	benchNetOnce sync.Once
+	benchNet     *nn.Network
+	benchNetErr  error
+)
+
+// benchTrainedNet trains a small baseline once for the ML benches.
+func benchTrainedNet() (*nn.Network, error) {
+	benchNetOnce.Do(func() {
+		tc := experiments.DefaultTrainingConfig()
+		tc.Hidden = []int{16, 8}
+		tc.Epochs = 2
+		tc.Steps = 2000
+		benchNet, benchNetErr = func() (*nn.Network, error) {
+			net, _, err := experiments.TrainBaseline(tc)
+			return net, err
+		}()
+	})
+	return benchNet, benchNetErr
+}
+
+// BenchmarkTableVIML regenerates the ML-baseline row of Table VI
+// (Observation 6).
+func BenchmarkTableVIML(b *testing.B) {
+	net, err := benchTrainedNet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := core.InterventionSet{ML: true, MLNet: net}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunMatrix(benchCfg(), fi.DefaultParams(fi.TargetRelDistance), row, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := metrics.AggregateOutcomes(experiments.Outcomes(runs))
+		b.ReportMetric(agg.A1Rate*100, "rd-ml-A1-%")
+		b.ReportMetric(agg.A2Rate*100, "rd-ml-A2-%")
+	}
+}
+
+// BenchmarkTableVII regenerates the reaction-time sweep.
+func BenchmarkTableVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.TableVII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Fault == fi.TargetCurvature && c.Reaction == 1.0 {
+				b.ReportMetric(c.Prevented*100, "curv-1.0s-prevented-%")
+			}
+			if c.Fault == fi.TargetCurvature && c.Reaction == 3.5 {
+				b.ReportMetric(c.Prevented*100, "curv-3.5s-prevented-%")
+			}
+		}
+	}
+}
+
+// BenchmarkTableVIII regenerates the road-friction sweep.
+func BenchmarkTableVIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.TableVIII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Fault == fi.TargetCurvature && c.FrictionScale == 0.25 {
+				b.ReportMetric(c.Prevented*100, "curv-icy-prevented-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAEBPriority compares the paper's priority hierarchy
+// (AEB overrides the driver) against the inverted one, on the mixed
+// attack where Observation 4's conflict shows up.
+func BenchmarkAblationAEBPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := core.InterventionSet{Driver: true, AEB: aebs.SourceIndependent}
+		inverted := base
+		inverted.DriverPriorityOverAEB = true
+		for name, set := range map[string]core.InterventionSet{
+			"aeb-priority": base, "driver-priority": inverted,
+		} {
+			runs, err := experiments.RunMatrix(benchCfg(), fi.DefaultParams(fi.TargetMixed), set, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg := metrics.AggregateOutcomes(experiments.Outcomes(runs))
+			b.ReportMetric(agg.Prevented*100, name+"-prevented-%")
+		}
+	}
+}
+
+// BenchmarkAblationSafetyClamp compares the ISO 22179 firmware bounds
+// against a loosened deceleration clamp.
+func BenchmarkAblationSafetyClamp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for name, decel := range map[string]float64{"iso": 3.5, "loose": 8.0} {
+			limits := panda.DefaultLimits()
+			limits.MaxDecel = decel
+			cfg := benchCfg()
+			cfg.Modify = func(o *core.Options) { o.Panda = &limits }
+			runs, err := experiments.RunMatrix(cfg, fi.DefaultParams(fi.TargetRelDistance),
+				core.InterventionSet{SafetyCheck: true}, 12)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg := metrics.AggregateOutcomes(experiments.Outcomes(runs))
+			b.ReportMetric(agg.Prevented*100, name+"-prevented-%")
+		}
+	}
+}
+
+// BenchmarkAblationCUSUM sweeps the ML detector threshold tau.
+func BenchmarkAblationCUSUM(b *testing.B) {
+	net, err := benchTrainedNet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tau := range []float64{1.0, 2.0, 4.0} {
+			mcfg := mlmit.Config{Threshold: tau, Bias: 0.25}
+			runs, err := experiments.RunMatrix(benchCfg(), fi.DefaultParams(fi.TargetRelDistance),
+				core.InterventionSet{ML: true, MLNet: net, MLConfig: &mcfg}, 13)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg := metrics.AggregateOutcomes(experiments.Outcomes(runs))
+			b.ReportMetric(agg.A1Rate*100, "tau-A1-%")
+		}
+	}
+}
+
+// BenchmarkPerception measures the perception sensor alone.
+func BenchmarkPerception(b *testing.B) {
+	p, err := core.NewPlatform(core.Options{
+		Scenario: scenario.DefaultSpec(scenario.S1, 60),
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := perception.New(perception.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := p.World()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Perceive(w)
+	}
+}
+
+// BenchmarkLSTMPredict measures one forward pass of the paper-sized
+// (128/64) baseline network over a 20-step window.
+func BenchmarkLSTMPredict(b *testing.B) {
+	net, err := nn.NewNetwork(mlmit.FeatureDim, []int{128, 64}, mlmit.OutputDim, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([][]float64, mlmit.HistorySteps)
+	for i := range seq {
+		seq[i] = make([]float64, mlmit.FeatureDim)
+		seq[i][0] = float64(i) / 20
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Predict(seq)
+	}
+}
+
+// BenchmarkArbitration measures the safety arbiter with the firmware
+// checker attached.
+func BenchmarkArbitration(b *testing.B) {
+	checker, err := panda.New(panda.DefaultLimits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	arb := safety.New(safety.Config{AEBOverridesDriver: true, MaxBrake: 9.8, Checker: checker})
+	in := safety.Inputs{
+		ADAS:   vehicle.Command{Accel: -5, Curvature: 0.01},
+		Driver: driver.Intervention{BrakeActive: true, BrakeAccel: -6, SteerActive: true, SteerCurvature: -0.02},
+		AEB:    aebs.Decision{Phase: aebs.PhaseBrake95, BrakeFraction: 0.95},
+		DT:     0.01,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = arb.Arbitrate(in)
+	}
+}

@@ -1,0 +1,118 @@
+// Command campaign runs the paper's central fault-injection campaign
+// (Table VI): every fault type against a chosen set of safety-intervention
+// configurations, with per-scenario breakdowns.
+//
+// Examples:
+//
+//	campaign                       # full 360-run-per-cell campaign
+//	campaign -reps 3 -rows driver,aeb-indep
+//	campaign -breakdown            # add per-scenario accident breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adasim/internal/experiments"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/nn"
+	"adasim/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		reps      = flag.Int("reps", 10, "repetitions per configuration")
+		seed      = flag.Int64("seed", 1, "base seed")
+		rowsArg   = flag.String("rows", "", "comma-separated row labels (default: all)")
+		breakdown = flag.Bool("breakdown", false, "print per-scenario accident breakdown")
+		withML    = flag.Bool("ml", false, "include the ML baseline row")
+		mlWeights = flag.String("mlweights", "", "trained weights file for the ML row")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Reps = *reps
+	cfg.BaseSeed = *seed
+
+	var mlNet *nn.Network
+	if *withML {
+		var err error
+		mlNet, err = loadNet(*mlWeights)
+		if err != nil {
+			return err
+		}
+	}
+	rows := experiments.TableVIRows(mlNet)
+	if *rowsArg != "" {
+		rows = filterRows(rows, *rowsArg)
+		if len(rows) == 0 {
+			return fmt.Errorf("no rows match %q", *rowsArg)
+		}
+	}
+
+	start := time.Now()
+	for _, target := range fi.Targets() {
+		fmt.Printf("=== fault: %s ===\n", target)
+		for i, row := range rows {
+			runs, err := experiments.RunMatrix(cfg, fi.DefaultParams(target), row.Set,
+				int64(100+i))
+			if err != nil {
+				return err
+			}
+			agg := metrics.AggregateOutcomes(experiments.Outcomes(runs))
+			fmt.Printf("%-24s A1=%6.2f%%  A2=%6.2f%%  prevented=%6.2f%%  "+
+				"aeb%%=%5.1f drB%%=%5.1f drS%%=%5.1f\n",
+				row.Label, agg.A1Rate*100, agg.A2Rate*100, agg.Prevented*100,
+				agg.AEBTriggerRate*100, agg.DriverBrakeTriggerRate*100,
+				agg.DriverSteerTriggerRate*100)
+			if *breakdown {
+				for _, id := range scenario.All() {
+					sub := metrics.AggregateOutcomes(experiments.FilterByScenario(runs, id))
+					fmt.Printf("    %-4s A1=%6.2f%% A2=%6.2f%% prevented=%6.2f%%\n",
+						id, sub.A1Rate*100, sub.A2Rate*100, sub.Prevented*100)
+				}
+			}
+		}
+	}
+	fmt.Println("elapsed:", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func filterRows(rows []experiments.InterventionRow, arg string) []experiments.InterventionRow {
+	wanted := map[string]bool{}
+	for _, p := range strings.Split(arg, ",") {
+		wanted[strings.TrimSpace(p)] = true
+	}
+	var out []experiments.InterventionRow
+	for _, r := range rows {
+		if wanted[r.Label] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func loadNet(path string) (*nn.Network, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nn.LoadNetwork(f)
+	}
+	fmt.Println("training the ML baseline...")
+	net, _, err := experiments.TrainBaseline(experiments.DefaultTrainingConfig())
+	return net, err
+}

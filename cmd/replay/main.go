@@ -1,0 +1,196 @@
+// Command replay renders a recorded simulation as an ASCII bird's-eye
+// strip chart: one row per time slice showing the ego's lane position,
+// the gap to the lead, and which agent was in control. It reads the CSV
+// produced by `adasim -trace` or records a fresh run itself.
+//
+// Examples:
+//
+//	replay -scenario S1 -fault curvature -driver
+//	replay -scenario S4 -fault rd -aeb independent -every 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/driver"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/safety"
+	"adasim/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scen     = flag.String("scenario", "S1", "driving scenario (S1..S6)")
+		gap      = flag.Float64("gap", 60, "initial gap (m)")
+		fault    = flag.String("fault", "none", "fault: none, rd, curvature, mixed")
+		useDrv   = flag.Bool("driver", false, "enable the driver model")
+		reaction = flag.Float64("reaction", driver.DefaultReactionTime, "driver reaction time (s)")
+		aebSrc   = flag.String("aeb", "off", "AEBS source: off, compromised, independent")
+		seed     = flag.Int64("seed", 1, "random seed")
+		steps    = flag.Int("steps", core.DefaultSteps, "simulation steps")
+		every    = flag.Float64("every", 1.0, "seconds between rendered rows")
+	)
+	flag.Parse()
+
+	id, err := parseScenario(*scen)
+	if err != nil {
+		return err
+	}
+	faultParams, err := parseFault(*fault)
+	if err != nil {
+		return err
+	}
+	iv := core.InterventionSet{}
+	if *useDrv {
+		dcfg := driver.DefaultConfig()
+		dcfg.ReactionTime = *reaction
+		iv.Driver = true
+		iv.DriverConfig = &dcfg
+	}
+	switch strings.ToLower(*aebSrc) {
+	case "off", "":
+	case "compromised":
+		iv.AEB = aebs.SourceCompromised
+	case "independent":
+		iv.AEB = aebs.SourceIndependent
+	default:
+		return fmt.Errorf("unknown -aeb value %q", *aebSrc)
+	}
+	res, err := core.Run(core.Options{
+		Scenario:      scenario.DefaultSpec(id, *gap),
+		Fault:         faultParams,
+		Interventions: iv,
+		Seed:          *seed,
+		Steps:         *steps,
+		RecordTrace:   true,
+	})
+	if err != nil {
+		return err
+	}
+	render(os.Stdout, res, *every)
+	return nil
+}
+
+// render draws one row per `every` seconds of simulated time.
+func render(w *os.File, res *core.Result, every float64) {
+	fmt.Fprintln(w, "   t |  lane position (| = lane lines)  | speed  gap     ctrl  flags")
+	fmt.Fprintln(w, "-----+----------------------------------+---------------------------")
+	next := 0.0
+	for _, s := range res.Trace.Samples {
+		if s.T < next {
+			continue
+		}
+		next = s.T + every
+		fmt.Fprintf(w, "%4.0fs | %s | %4.1f  %7s  %-6s %s\n",
+			s.T, laneStrip(s.EgoD), s.EgoV, gapText(s), ctrlText(s), flagText(s))
+	}
+	o := res.Outcome
+	fmt.Fprintf(w, "-----+----------------------------------+---------------------------\n")
+	fmt.Fprintf(w, "outcome: %s", o.Accident)
+	if o.AccidentAt >= 0 {
+		fmt.Fprintf(w, " at t=%.1fs", o.AccidentAt)
+	}
+	fmt.Fprintln(w)
+}
+
+// laneStrip renders the three lanes with the ego's lateral position.
+// The strip spans d in [-5.25, +5.25] m (three 3.5 m lanes).
+func laneStrip(d float64) string {
+	const width = 32
+	cells := []rune(strings.Repeat(" ", width))
+	mark := func(dPos float64, r rune) {
+		frac := (dPos + 5.25) / 10.5
+		i := int(frac * float64(width-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		cells[i] = r
+	}
+	mark(-5.25, '|')
+	mark(-1.75, '|')
+	mark(1.75, '|')
+	mark(5.25, '|')
+	mark(d, 'E')
+	return string(cells)
+}
+
+func gapText(s metrics.Sample) string {
+	if !s.LeadValid {
+		return "-"
+	}
+	return fmt.Sprintf("%5.1fm", s.LeadGap)
+}
+
+func ctrlText(s metrics.Sample) string {
+	long := s.LongSource.String()
+	if s.LatSource != s.LongSource && s.LatSource != safety.SourceADAS {
+		return long + "/" + s.LatSource.String()
+	}
+	return long
+}
+
+func flagText(s metrics.Sample) string {
+	var flags []string
+	if s.FaultActive {
+		flags = append(flags, "ATTACK")
+	}
+	if s.FCW {
+		flags = append(flags, "FCW")
+	}
+	if s.AEBBraking {
+		flags = append(flags, "AEB")
+	}
+	if s.DriverBrake {
+		flags = append(flags, "drv-brake")
+	}
+	if s.DriverSteer {
+		flags = append(flags, "drv-steer")
+	}
+	if s.MLActive {
+		flags = append(flags, "ML")
+	}
+	if s.MonitorActive {
+		flags = append(flags, "MON")
+	}
+	return strings.Join(flags, ",")
+}
+
+func parseScenario(s string) (scenario.ID, error) {
+	for _, id := range scenario.All() {
+		if strings.EqualFold(id.String(), s) {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scenario %q", s)
+}
+
+func parseFault(s string) (fi.Params, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return fi.Params{}, nil
+	case "rd":
+		return fi.DefaultParams(fi.TargetRelDistance), nil
+	case "curvature":
+		return fi.DefaultParams(fi.TargetCurvature), nil
+	case "mixed":
+		return fi.DefaultParams(fi.TargetMixed), nil
+	default:
+		return fi.Params{}, fmt.Errorf("unknown fault %q", s)
+	}
+}

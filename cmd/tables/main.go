@@ -1,0 +1,200 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section (Tables IV-VIII, Figures 5-6) from the simulation
+// platform and writes them under an output directory.
+//
+// Examples:
+//
+//	tables                       # everything at paper scale (10 reps)
+//	tables -reps 3 -only 6       # quick Table VI
+//	tables -ml -mlweights w.gob  # include the ML baseline row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"adasim/internal/experiments"
+	"adasim/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		reps      = flag.Int("reps", 10, "repetitions per configuration (paper: 10)")
+		seed      = flag.Int64("seed", 1, "campaign base seed")
+		outDir    = flag.String("out", "results", "output directory")
+		only      = flag.String("only", "", "comma-separated subset: 4,5,6,7,8,fig5,fig6,ext,weather")
+		withML    = flag.Bool("ml", false, "include the ML baseline row in Table VI")
+		mlWeights = flag.String("mlweights", "", "trained weights from cmd/mltrain; trains a fresh model when empty")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Reps = *reps
+	cfg.BaseSeed = *seed
+
+	want := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, p := range strings.Split(*only, ",") {
+			if strings.TrimSpace(p) == name {
+				return true
+			}
+		}
+		return false
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+
+	start := time.Now()
+
+	if want("4") || want("5") {
+		t4, err := experiments.TableIV(cfg)
+		if err != nil {
+			return err
+		}
+		if want("4") {
+			fmt.Print(t4.Render())
+			if err := write("table4.txt", t4.Render()); err != nil {
+				return err
+			}
+		}
+		if want("5") {
+			t5 := experiments.RenderTableV(experiments.TableV(t4.Runs))
+			fmt.Print(t5)
+			if err := write("table5.txt", t5); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("fig5") {
+		figs, err := experiments.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			if err := write(f.Name+".csv", f.CSV()); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("fig6") {
+		fig, err := experiments.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		if err := write(fig.Name+".csv", fig.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("6") {
+		var mlNet *nn.Network
+		if *withML {
+			var err error
+			mlNet, err = loadOrTrain(*mlWeights)
+			if err != nil {
+				return err
+			}
+		}
+		t6, err := experiments.TableVI(cfg, experiments.TableVIRows(mlNet))
+		if err != nil {
+			return err
+		}
+		fmt.Print(t6.Render())
+		if err := write("table6.txt", t6.Render()); err != nil {
+			return err
+		}
+	}
+
+	if want("7") {
+		t7, err := experiments.TableVII(cfg)
+		if err != nil {
+			return err
+		}
+		text := experiments.RenderTableVII(t7)
+		fmt.Print(text)
+		if err := write("table7.txt", text); err != nil {
+			return err
+		}
+	}
+
+	if want("8") {
+		t8, err := experiments.TableVIII(cfg)
+		if err != nil {
+			return err
+		}
+		text := experiments.RenderTableVIII(t8)
+		fmt.Print(text)
+		if err := write("table8.txt", text); err != nil {
+			return err
+		}
+	}
+
+	if want("ext") {
+		cells, err := experiments.ExtensionStudy(cfg)
+		if err != nil {
+			return err
+		}
+		text := experiments.RenderExtensionStudy(cells)
+		fmt.Print(text)
+		if err := write("extension_study.txt", text); err != nil {
+			return err
+		}
+	}
+
+	if want("weather") {
+		cells, err := experiments.WeatherStudy(cfg)
+		if err != nil {
+			return err
+		}
+		text := experiments.RenderWeatherStudy(cells)
+		fmt.Print(text)
+		if err := write("weather_study.txt", text); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("total elapsed:", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func loadOrTrain(path string) (*nn.Network, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nn.LoadNetwork(f)
+	}
+	fmt.Println("training the ML baseline (pass -mlweights to reuse saved weights)...")
+	net, loss, err := experiments.TrainBaseline(experiments.DefaultTrainingConfig())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("trained, final loss %.6f\n", loss)
+	return net, nil
+}

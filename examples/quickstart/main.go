@@ -1,0 +1,29 @@
+// Quickstart: run one benign closed-loop simulation (scenario S1, the
+// lead cruising at 30 mph) and print what OpenPilot did — the minimal use
+// of the platform's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adasim/internal/core"
+	"adasim/internal/scenario"
+)
+
+func main() {
+	res, err := core.Run(core.Options{
+		Scenario: scenario.DefaultSpec(scenario.S1, 60),
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := res.Outcome
+	fmt.Println("scenario:", scenario.S1.Description())
+	fmt.Printf("simulated %.0f s; accident: %s\n", o.Duration, o.Accident)
+	fmt.Printf("stable following distance: %.1f m (a ~2 s gap at 30 mph)\n", o.FollowingDistance)
+	fmt.Printf("hardest brake while approaching: %.0f%% of full braking\n", o.HardestBrake*100)
+	fmt.Printf("minimum time-to-collision: %.2f s\n", o.MinTTC)
+	fmt.Printf("minimum distance to a lane line: %.2f m\n", o.MinLaneLineDist)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/nn"
+)
+
+// InterventionRow is one safety-intervention configuration of Table VI.
+type InterventionRow struct {
+	Label string
+	Set   core.InterventionSet
+}
+
+// TableVIRows returns the paper's eight intervention configurations, in
+// table order. mlNet may be nil if the ML rows are skipped.
+func TableVIRows(mlNet *nn.Network) []InterventionRow {
+	rows := []InterventionRow{
+		{Label: "none", Set: core.InterventionSet{}},
+		{Label: "driver+check", Set: core.InterventionSet{Driver: true, SafetyCheck: true}},
+		{Label: "driver+check+aeb-comp", Set: core.InterventionSet{
+			Driver: true, SafetyCheck: true, AEB: aebs.SourceCompromised}},
+		{Label: "driver+check+aeb-indep", Set: core.InterventionSet{
+			Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent}},
+		{Label: "aeb-comp", Set: core.InterventionSet{AEB: aebs.SourceCompromised}},
+		{Label: "aeb-indep", Set: core.InterventionSet{AEB: aebs.SourceIndependent}},
+		{Label: "driver", Set: core.InterventionSet{Driver: true}},
+	}
+	if mlNet != nil {
+		rows = append(rows, InterventionRow{
+			Label: "ml-model",
+			Set:   core.InterventionSet{ML: true, MLNet: mlNet},
+		})
+	}
+	return rows
+}
+
+// TableVICell is one (fault type, intervention) cell of Table VI.
+type TableVICell struct {
+	Fault        fi.Target
+	Intervention string
+	Agg          metrics.Aggregate
+}
+
+// TableVIResult is the full fault-injection evaluation.
+type TableVIResult struct {
+	Cells []TableVICell
+}
+
+// TableVI runs the paper's central fault-injection campaign: every fault
+// type against every intervention configuration.
+func TableVI(cfg Config, rows []InterventionRow) (*TableVIResult, error) {
+	res := &TableVIResult{}
+	for fi_, target := range fi.Targets() {
+		for ri, row := range rows {
+			runs, err := RunMatrix(cfg, fi.DefaultParams(target), row.Set,
+				int64(100+10*fi_+ri))
+			if err != nil {
+				return nil, fmt.Errorf("table vi (%v, %s): %w", target, row.Label, err)
+			}
+			res.Cells = append(res.Cells, TableVICell{
+				Fault:        target,
+				Intervention: row.Label,
+				Agg:          metrics.AggregateOutcomes(Outcomes(runs)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the cell for a fault/intervention pair, or nil.
+func (r *TableVIResult) Cell(target fi.Target, intervention string) *TableVICell {
+	for i := range r.Cells {
+		if r.Cells[i].Fault == target && r.Cells[i].Intervention == intervention {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the campaign in the paper's Table VI layout.
+func (r *TableVIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("TABLE VI: Fault Injection with or w/o Safety Interventions\n")
+	fmt.Fprintf(&b, "%-18s %-23s %7s %7s %9s | %7s %7s %7s | %7s %7s %7s\n",
+		"Fault", "Interventions", "A1", "A2", "Prevented",
+		"tAEB(s)", "tDrB(s)", "tDrS(s)", "AEB%", "DrB%", "DrS%")
+	last := fi.TargetNone
+	for _, c := range r.Cells {
+		name := ""
+		if c.Fault != last {
+			name = c.Fault.String()
+			last = c.Fault
+		}
+		fmt.Fprintf(&b, "%-18s %-23s %6.2f%% %6.2f%% %8.2f%% | %7.2f %7.2f %7.2f | %6.1f%% %6.1f%% %6.1f%%\n",
+			name, c.Intervention,
+			c.Agg.A1Rate*100, c.Agg.A2Rate*100, c.Agg.Prevented*100,
+			c.Agg.AvgAEBTime, c.Agg.AvgDriverBrakeTime, c.Agg.AvgDriverSteerTime,
+			c.Agg.AEBTriggerRate*100, c.Agg.DriverBrakeTriggerRate*100,
+			c.Agg.DriverSteerTriggerRate*100)
+	}
+	return b.String()
+}

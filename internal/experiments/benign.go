@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/scenario"
+)
+
+// TableIVRow is one scenario row of Table IV: OpenPilot's fault-free
+// driving performance.
+type TableIVRow struct {
+	Scenario          scenario.ID
+	Runs              int
+	Hazards           int     // runs with any hazard (H1 or H2)
+	Accidents         int     // runs ending in an accident
+	FollowingDistance float64 // mean stable-following gap (m)
+	HardestBrake      float64 // mean of per-run max brake fraction
+	MinTTC            float64 // min over runs of min TTC (s)
+	MinTFCW           float64 // min over runs of min t_fcw (s)
+}
+
+// TableIVResult is the full table plus the per-run outcomes (reused by
+// Table V and Figure 5).
+type TableIVResult struct {
+	Rows []TableIVRow
+	Runs []RunOutcome
+}
+
+// TableIV runs the fault-free campaign (no interventions) and aggregates
+// the paper's Table IV metrics per scenario.
+func TableIV(cfg Config) (*TableIVResult, error) {
+	runs, err := RunMatrix(cfg, fi.Params{}, core.InterventionSet{}, 40)
+	if err != nil {
+		return nil, fmt.Errorf("table iv: %w", err)
+	}
+	res := &TableIVResult{Runs: runs}
+	for _, id := range scenario.All() {
+		outs := FilterByScenario(runs, id)
+		row := TableIVRow{Scenario: id, Runs: len(outs), MinTTC: math.Inf(1), MinTFCW: math.Inf(1)}
+		var followSum, brakeSum float64
+		var followN int
+		for _, o := range outs {
+			if o.HazardH1 || o.HazardH2 {
+				row.Hazards++
+			}
+			if o.Accident != metrics.AccidentNone {
+				row.Accidents++
+			}
+			if o.FollowingDistance >= 0 {
+				followSum += o.FollowingDistance
+				followN++
+			}
+			brakeSum += o.HardestBrake
+			if o.MinTTC < row.MinTTC {
+				row.MinTTC = o.MinTTC
+			}
+			if o.MinTFCW < row.MinTFCW {
+				row.MinTFCW = o.MinTFCW
+			}
+		}
+		if followN > 0 {
+			row.FollowingDistance = followSum / float64(followN)
+		}
+		if len(outs) > 0 {
+			row.HardestBrake = brakeSum / float64(len(outs))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the table in the paper's layout.
+func (r *TableIVResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE IV: Driving Performance in Different Scenarios (fault-free)\n")
+	fmt.Fprintf(&b, "%-8s %-9s %-9s %-14s %-10s %-9s %-9s\n",
+		"Scenario", "Hazard", "Accident", "FollowDist(m)", "HardBrake", "minTTC(s)", "minTFCW(s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %2d/%-6d %2d/%-6d %-14.2f %8.1f%% %-9.2f %-9.2f\n",
+			row.Scenario, row.Hazards, row.Runs, row.Accidents, row.Runs,
+			row.FollowingDistance, row.HardestBrake*100, row.MinTTC, row.MinTFCW)
+	}
+	return b.String()
+}
+
+// TableVRow is one scenario's minimal distance to lane lines.
+type TableVRow struct {
+	Scenario scenario.ID
+	MinDist  float64 // min over runs of per-run min body-edge lane distance (m)
+}
+
+// TableV derives the paper's Table V from fault-free runs.
+func TableV(runs []RunOutcome) []TableVRow {
+	rows := make([]TableVRow, 0, len(scenario.All()))
+	for _, id := range scenario.All() {
+		min := math.Inf(1)
+		for _, o := range FilterByScenario(runs, id) {
+			if o.MinLaneLineDist < min {
+				min = o.MinLaneLineDist
+			}
+		}
+		rows = append(rows, TableVRow{Scenario: id, MinDist: min})
+	}
+	return rows
+}
+
+// RenderTableV formats Table V.
+func RenderTableV(rows []TableVRow) string {
+	var b strings.Builder
+	b.WriteString("TABLE V: Minimal Distance to Lane Lines (m)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s ", r.Scenario)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4.2f ", r.MinDist)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

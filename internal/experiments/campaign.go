@@ -1,0 +1,146 @@
+// Package experiments defines the paper's evaluation campaigns: one
+// generator per table and figure in Section IV, built on the core
+// closed-loop platform. Campaigns fan runs out over a worker pool and are
+// deterministic for a fixed base seed.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/scenario"
+)
+
+// Config are the campaign-level knobs shared by every experiment.
+type Config struct {
+	// Reps is the number of repetitions per configuration (10 in the
+	// paper). Reduce for quick runs.
+	Reps int
+	// Steps caps each run's length; zero uses core.DefaultSteps.
+	Steps int
+	// Parallelism bounds concurrent runs; zero uses GOMAXPROCS.
+	Parallelism int
+	// BaseSeed decorrelates whole campaigns; runs derive their seeds
+	// from it deterministically.
+	BaseSeed int64
+	// Modify, when non-nil, is applied to every run's options before
+	// execution (used by sweeps and ablations).
+	Modify func(*core.Options)
+}
+
+// DefaultConfig returns the paper's campaign dimensions.
+func DefaultConfig() Config {
+	return Config{Reps: 10, BaseSeed: 1}
+}
+
+// normalized fills in defaults.
+func (c Config) normalized() Config {
+	if c.Reps == 0 {
+		c.Reps = 10
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// RunKey identifies one run within a campaign.
+type RunKey struct {
+	Scenario scenario.ID
+	Gap      float64
+	Rep      int
+}
+
+// seedFor derives a deterministic per-run seed.
+func seedFor(base int64, key RunKey, salt int64) int64 {
+	h := base
+	h = h*1000003 + int64(key.Scenario)
+	h = h*1000003 + int64(key.Gap)
+	h = h*1000003 + int64(key.Rep)
+	h = h*1000003 + salt
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// RunOutcome pairs a run key with its outcome.
+type RunOutcome struct {
+	Key     RunKey
+	Outcome metrics.Outcome
+}
+
+// RunMatrix executes scenarios x gaps x reps runs of the given fault and
+// intervention set, applying cfg.Modify last. It returns outcomes in a
+// deterministic order.
+func RunMatrix(cfg Config, fault fi.Params, iv core.InterventionSet, salt int64) ([]RunOutcome, error) {
+	cfg = cfg.normalized()
+	var keys []RunKey
+	for _, id := range scenario.All() {
+		for _, gap := range scenario.InitialGaps() {
+			for rep := 0; rep < cfg.Reps; rep++ {
+				keys = append(keys, RunKey{Scenario: id, Gap: gap, Rep: rep})
+			}
+		}
+	}
+	outs := make([]RunOutcome, len(keys))
+	errs := make([]error, len(keys))
+
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key RunKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opts := core.Options{
+				Scenario:      scenario.DefaultSpec(key.Scenario, key.Gap),
+				Fault:         fault,
+				Interventions: iv,
+				Seed:          seedFor(cfg.BaseSeed, key, salt),
+				Steps:         cfg.Steps,
+			}
+			if cfg.Modify != nil {
+				cfg.Modify(&opts)
+			}
+			res, err := core.Run(opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("run %v/%v/%d: %w", key.Scenario, key.Gap, key.Rep, err)
+				return
+			}
+			outs[i] = RunOutcome{Key: key, Outcome: res.Outcome}
+		}(i, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// Outcomes strips run keys.
+func Outcomes(rs []RunOutcome) []metrics.Outcome {
+	outs := make([]metrics.Outcome, len(rs))
+	for i, r := range rs {
+		outs[i] = r.Outcome
+	}
+	return outs
+}
+
+// FilterByScenario returns the outcomes belonging to one scenario.
+func FilterByScenario(rs []RunOutcome, id scenario.ID) []metrics.Outcome {
+	var outs []metrics.Outcome
+	for _, r := range rs {
+		if r.Key.Scenario == id {
+			outs = append(outs, r.Outcome)
+		}
+	}
+	return outs
+}

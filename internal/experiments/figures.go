@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+	"adasim/internal/scenario"
+)
+
+// Series is one labelled time series of a figure.
+type Series struct {
+	Label  string
+	Points [][2]float64 // (t, value)
+}
+
+// Figure is a regenerated paper figure as CSV-able series.
+type Figure struct {
+	Name   string
+	Series []Series
+}
+
+// CSV renders the figure as one CSV block per series.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "# %s: %s\n", f.Name, s.Label)
+		b.WriteString("t,value\n")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%.2f,%.4f\n", p[0], p[1])
+		}
+	}
+	return b.String()
+}
+
+// sampleEvery thins a trace to every n-th sample to keep CSVs small.
+func sampleEvery(tr *metrics.Trace, n int) []metrics.Sample {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]metrics.Sample, 0, len(tr.Samples)/n+1)
+	for i := 0; i < len(tr.Samples); i += n {
+		out = append(out, tr.Samples[i])
+	}
+	return out
+}
+
+// Figure5 reproduces Fig. 5: ego speed and distance to lane lines while
+// approaching the lead vehicle, one figure per scenario, fault-free.
+func Figure5(cfg Config) ([]Figure, error) {
+	var figs []Figure
+	for _, id := range scenario.All() {
+		opts := core.Options{
+			Scenario:    scenario.DefaultSpec(id, 60),
+			Seed:        cfg.BaseSeed,
+			Steps:       cfg.Steps,
+			RecordTrace: true,
+		}
+		if cfg.Modify != nil {
+			cfg.Modify(&opts)
+		}
+		res, err := core.Run(opts)
+		if err != nil {
+			return nil, fmt.Errorf("figure 5 (%v): %w", id, err)
+		}
+		speed := Series{Label: "ego speed (m/s)"}
+		lane := Series{Label: "distance to lane lines (m)"}
+		for _, s := range sampleEvery(res.Trace, 10) {
+			speed.Points = append(speed.Points, [2]float64{s.T, s.EgoV})
+			lane.Points = append(lane.Points, [2]float64{s.T, s.LaneLineMin})
+		}
+		figs = append(figs, Figure{
+			Name:   fmt.Sprintf("fig5-%s", id),
+			Series: []Series{speed, lane},
+		})
+	}
+	return figs, nil
+}
+
+// Figure6 reproduces Fig. 6: ego speed and relative distance (true and
+// perceived) under a relative-distance fault injection, without safety
+// interventions.
+func Figure6(cfg Config) (Figure, error) {
+	opts := core.Options{
+		Scenario:    scenario.DefaultSpec(scenario.S1, 60),
+		Fault:       fi.DefaultParams(fi.TargetRelDistance),
+		Seed:        cfg.BaseSeed,
+		Steps:       cfg.Steps,
+		RecordTrace: true,
+	}
+	if cfg.Modify != nil {
+		cfg.Modify(&opts)
+	}
+	res, err := core.Run(opts)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 6: %w", err)
+	}
+	speed := Series{Label: "ego speed (m/s)"}
+	trueRD := Series{Label: "true relative distance (m)"}
+	seenRD := Series{Label: "perceived relative distance (m)"}
+	for _, s := range sampleEvery(res.Trace, 10) {
+		speed.Points = append(speed.Points, [2]float64{s.T, s.EgoV})
+		if s.LeadValid {
+			trueRD.Points = append(trueRD.Points, [2]float64{s.T, s.LeadGap})
+		}
+		if s.PerceivedRD >= 0 {
+			seenRD.Points = append(seenRD.Points, [2]float64{s.T, s.PerceivedRD})
+		}
+	}
+	return Figure{Name: "fig6", Series: []Series{speed, trueRD, seenRD}}, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adasim/internal/core"
+	"adasim/internal/mlmit"
+	"adasim/internal/nn"
+	"adasim/internal/scenario"
+)
+
+// TrainingConfig tunes the ML-baseline training pipeline (paper Section
+// IV-D): fault-free data collection over the driving scenarios, sliding
+// windows of 20 control cycles, stacked-LSTM regression to the executed
+// gas/steering commands.
+type TrainingConfig struct {
+	// Hidden are the LSTM layer widths. The paper's best model is
+	// {128, 64}; the campaign default {64, 32} trains in seconds with
+	// indistinguishable behaviour at this feature dimensionality.
+	Hidden []int
+	// Epochs over the collected windows.
+	Epochs int
+	// BatchSize for Adam updates.
+	BatchSize int
+	// LearningRate for Adam; zero means 1e-3.
+	LearningRate float64
+	// WindowStride subsamples overlapping windows (1 = every window).
+	WindowStride int
+	// PrevNoiseAccel / PrevNoiseCurv corrupt the historical-output
+	// features during training (m/s^2, 1/m). Without this the network
+	// learns the autoregressive shortcut y(t) ~= y(t-1), which makes the
+	// CUSUM detector blind under attack (the shortcut tracks the
+	// compromised controller instead of the physical state).
+	PrevNoiseAccel float64
+	PrevNoiseCurv  float64
+	// Steps per data-collection run; zero uses core.DefaultSteps.
+	Steps int
+	// Seed drives initialisation and shuffling.
+	Seed int64
+}
+
+// DefaultTrainingConfig returns the campaign training setup.
+func DefaultTrainingConfig() TrainingConfig {
+	return TrainingConfig{
+		Hidden:         []int{64, 32},
+		Epochs:         4,
+		BatchSize:      16,
+		WindowStride:   10,
+		Steps:          4000,
+		Seed:           7,
+		PrevNoiseAccel: 3.0,
+		PrevNoiseCurv:  0.02,
+	}
+}
+
+// CollectTraining runs every scenario fault-free and returns the recorded
+// (frame, executed command) points per run.
+func CollectTraining(cfg TrainingConfig) ([][]core.TrainingPoint, error) {
+	var runs [][]core.TrainingPoint
+	for _, id := range scenario.All() {
+		for _, gap := range scenario.InitialGaps() {
+			res, err := core.Run(core.Options{
+				Scenario:       scenario.DefaultSpec(id, gap),
+				Seed:           cfg.Seed + int64(id)*17 + int64(gap),
+				Steps:          cfg.Steps,
+				RecordMLFrames: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("collect %v/%v: %w", id, gap, err)
+			}
+			runs = append(runs, res.MLFrames)
+		}
+	}
+	return runs, nil
+}
+
+// BuildSamples converts recorded runs into sliding-window training
+// samples: the input is mlmit.HistorySteps consecutive frames, the target
+// is the command executed at the window's final step. Non-zero noise
+// parameters corrupt the historical-output features (see TrainingConfig).
+func BuildSamples(runs [][]core.TrainingPoint, stride int,
+	prevNoiseAccel, prevNoiseCurv float64, rng *rand.Rand) []nn.Sample {
+	if stride < 1 {
+		stride = 1
+	}
+	noise := func(sigma float64) float64 {
+		if sigma == 0 || rng == nil {
+			return 0
+		}
+		return rng.NormFloat64() * sigma
+	}
+	var samples []nn.Sample
+	for _, pts := range runs {
+		for end := mlmit.HistorySteps; end <= len(pts); end += stride {
+			window := pts[end-mlmit.HistorySteps : end]
+			seq := make([][]float64, len(window))
+			for i, p := range window {
+				f := p.Frame
+				f.PrevAccel += noise(prevNoiseAccel)
+				f.PrevCurvature += noise(prevNoiseCurv)
+				seq[i] = f.Vector()
+			}
+			samples = append(samples, nn.Sample{
+				Seq:    seq,
+				Target: mlmit.ScaleTarget(window[len(window)-1].Executed),
+			})
+		}
+	}
+	return samples
+}
+
+// TrainBaseline collects fault-free data and trains the LSTM baseline.
+// It returns the trained network and the final epoch's mean loss.
+func TrainBaseline(cfg TrainingConfig) (*nn.Network, float64, error) {
+	runs, err := CollectTraining(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	samples := BuildSamples(runs, cfg.WindowStride, cfg.PrevNoiseAccel, cfg.PrevNoiseCurv, rng)
+	if len(samples) == 0 {
+		return nil, 0, fmt.Errorf("experiments: no training samples collected")
+	}
+	net, err := nn.NewNetwork(mlmit.FeatureDim, cfg.Hidden, mlmit.OutputDim, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	opt := nn.NewAdam(net.Params(), cfg.LearningRate)
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 16
+	}
+	epochs := cfg.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(samples), func(i, j int) {
+			samples[i], samples[j] = samples[j], samples[i]
+		})
+		var sum float64
+		var n int
+		for i := 0; i+batch <= len(samples); i += batch {
+			loss, err := net.TrainBatch(samples[i:i+batch], opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			sum += loss
+			n++
+		}
+		if n > 0 {
+			last = sum / float64(n)
+		}
+	}
+	return net, last, nil
+}

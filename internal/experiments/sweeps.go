@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/driver"
+	"adasim/internal/fi"
+	"adasim/internal/metrics"
+)
+
+// ReactionTimes are the driver reaction times swept by Table VII (s).
+func ReactionTimes() []float64 { return []float64{1.0, 1.5, 2.0, 2.5, 3.0, 3.5} }
+
+// TableVIICell is one (fault, reaction time) prevention rate.
+type TableVIICell struct {
+	Fault     fi.Target
+	Reaction  float64
+	Prevented float64
+}
+
+// TableVII sweeps the driver reaction time with only driver interventions
+// enabled (Section IV-E4).
+func TableVII(cfg Config) ([]TableVIICell, error) {
+	var cells []TableVIICell
+	for _, target := range fi.Targets() {
+		for _, rt := range ReactionTimes() {
+			dcfg := driver.DefaultConfig()
+			dcfg.ReactionTime = rt
+			iv := core.InterventionSet{Driver: true, DriverConfig: &dcfg}
+			runs, err := RunMatrix(cfg, fi.DefaultParams(target), iv,
+				int64(200+int(rt*10)))
+			if err != nil {
+				return nil, fmt.Errorf("table vii (%v, %.1f): %w", target, rt, err)
+			}
+			agg := metrics.AggregateOutcomes(Outcomes(runs))
+			cells = append(cells, TableVIICell{Fault: target, Reaction: rt, Prevented: agg.Prevented})
+		}
+	}
+	return cells, nil
+}
+
+// RenderTableVII formats the reaction-time sweep.
+func RenderTableVII(cells []TableVIICell) string {
+	var b strings.Builder
+	b.WriteString("TABLE VII: Prevention Rate vs. Driver Reaction Time\n")
+	fmt.Fprintf(&b, "%-18s", "Fault Type")
+	for _, rt := range ReactionTimes() {
+		fmt.Fprintf(&b, " %6.1fs", rt)
+	}
+	b.WriteString("\n")
+	for _, target := range fi.Targets() {
+		fmt.Fprintf(&b, "%-18s", target)
+		for _, rt := range ReactionTimes() {
+			for _, c := range cells {
+				if c.Fault == target && c.Reaction == rt {
+					fmt.Fprintf(&b, " %6.2f%%", c.Prevented*100)
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FrictionScales are the Table VIII road-friction levels relative to dry
+// (default, 25% off, 50% off, 75% off).
+func FrictionScales() []float64 { return []float64{1.0, 0.75, 0.5, 0.25} }
+
+// TableVIIICell is one (fault, friction) prevention rate.
+type TableVIIICell struct {
+	Fault         fi.Target
+	FrictionScale float64
+	Prevented     float64
+}
+
+// TableVIII sweeps road friction with the paper's enabled interventions
+// (driver + safety check + AEB on compromised data), for the relative
+// distance and curvature fault types (Section IV-E5).
+func TableVIII(cfg Config) ([]TableVIIICell, error) {
+	iv := core.InterventionSet{Driver: true, SafetyCheck: true, AEB: aebs.SourceCompromised}
+	targets := []fi.Target{fi.TargetRelDistance, fi.TargetCurvature}
+	var cells []TableVIIICell
+	for _, target := range targets {
+		for _, scale := range FrictionScales() {
+			scale := scale
+			runCfg := cfg
+			parentModify := cfg.Modify
+			runCfg.Modify = func(o *core.Options) {
+				o.FrictionScale = scale
+				if parentModify != nil {
+					parentModify(o)
+				}
+			}
+			runs, err := RunMatrix(runCfg, fi.DefaultParams(target), iv,
+				int64(300+int(scale*100)))
+			if err != nil {
+				return nil, fmt.Errorf("table viii (%v, %.2f): %w", target, scale, err)
+			}
+			agg := metrics.AggregateOutcomes(Outcomes(runs))
+			cells = append(cells, TableVIIICell{
+				Fault:         target,
+				FrictionScale: scale,
+				Prevented:     agg.Prevented,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// RenderTableVIII formats the road-friction sweep.
+func RenderTableVIII(cells []TableVIIICell) string {
+	var b strings.Builder
+	b.WriteString("TABLE VIII: Hazard Prevention Rate vs. Road Friction\n")
+	b.WriteString("(interventions: driver + safety check + AEB compromised)\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s\n", "Fault Type", "Default", "25%off", "50%off", "75%off")
+	for _, target := range []fi.Target{fi.TargetRelDistance, fi.TargetCurvature} {
+		fmt.Fprintf(&b, "%-18s", target)
+		for _, scale := range FrictionScales() {
+			for _, c := range cells {
+				if c.Fault == target && c.FrictionScale == scale {
+					fmt.Fprintf(&b, " %7.2f%%", c.Prevented*100)
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

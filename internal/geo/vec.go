@@ -1,0 +1,70 @@
+// Package geo provides the 2-D geometric primitives used by the road and
+// vehicle substrates: vectors, arc/line segments, and Frenet-frame
+// transforms along piecewise road centrelines.
+package geo
+
+import "math"
+
+// Vec2 is a two-dimensional Cartesian vector (metres).
+type Vec2 struct {
+	X float64
+	Y float64
+}
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec2) Scale(k float64) Vec2 { return Vec2{v.X * k, v.Y * k} }
+
+// Dot returns the dot product of v and o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Cross returns the z-component of the 3-D cross product of v and o.
+func (v Vec2) Cross(o Vec2) float64 { return v.X*o.Y - v.Y*o.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return v.Sub(o).Norm() }
+
+// Unit returns v normalised to length one. The zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Rotate returns v rotated counter-clockwise by theta radians.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Heading returns the angle of v measured counter-clockwise from the +X
+// axis, in radians in (-pi, pi].
+func (v Vec2) Heading() float64 { return math.Atan2(v.Y, v.X) }
+
+// FromHeading returns the unit vector pointing along heading theta.
+func FromHeading(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{c, s}
+}
+
+// WrapAngle normalises an angle to the interval (-pi, pi].
+func WrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVecBasicOps(t *testing.T) {
+	a := Vec2{3, 4}
+	b := Vec2{-1, 2}
+	if got := a.Add(b); got != (Vec2{2, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{4, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Dist(b); !almost(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Vec2{3, 4}.Unit()
+	if !almost(u.Norm(), 1, 1e-12) {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+	zero := Vec2{}
+	if zero.Unit() != zero {
+		t.Error("unit of zero vector should be zero")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	v := Vec2{1, 0}
+	r := v.Rotate(math.Pi / 2)
+	if !almost(r.X, 0, 1e-12) || !almost(r.Y, 1, 1e-12) {
+		t.Errorf("rotate 90 = %v", r)
+	}
+	// Rotation preserves length.
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Limit magnitudes to keep floating point sane.
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		v := Vec2{x, y}
+		return almost(v.Rotate(theta).Norm(), v.Norm(), 1e-6*math.Max(1, v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeadingFromHeading(t *testing.T) {
+	for _, theta := range []float64{-3, -1.5, 0, 0.5, 1.2, 3} {
+		v := FromHeading(theta)
+		if !almost(v.Norm(), 1, 1e-12) {
+			t.Errorf("FromHeading(%v) not unit", theta)
+		}
+		if !almost(WrapAngle(v.Heading()-theta), 0, 1e-12) {
+			t.Errorf("Heading round trip %v got %v", theta, v.Heading())
+		}
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2.5 * math.Pi, -0.5 * math.Pi},
+	}
+	for _, tt := range tests {
+		if got := WrapAngle(tt.in); !almost(got, tt.want, 1e-12) {
+			t.Errorf("WrapAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.Abs(a) > 1e6 {
+			return true
+		}
+		w := WrapAngle(a)
+		// In range and equivalent modulo 2*pi.
+		return w > -math.Pi-1e-9 && w <= math.Pi+1e-9 &&
+			almost(math.Mod(a-w, 2*math.Pi), 0, 1e-6) ||
+			almost(math.Abs(math.Mod(a-w, 2*math.Pi)), 2*math.Pi, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

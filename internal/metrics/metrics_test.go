@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccidentStrings(t *testing.T) {
+	if AccidentNone.String() != "none" || AccidentA1.String() != "A1" || AccidentA2.String() != "A2" {
+		t.Error("accident names wrong")
+	}
+}
+
+func TestNewOutcomeSentinels(t *testing.T) {
+	o := NewOutcome()
+	for name, v := range map[string]float64{
+		"AccidentAt":    o.AccidentAt,
+		"H1At":          o.H1At,
+		"H2At":          o.H2At,
+		"FaultFirstAt":  o.FaultFirstAt,
+		"FCWAt":         o.FCWAt,
+		"AEBBrakeAt":    o.AEBBrakeAt,
+		"DriverBrakeAt": o.DriverBrakeAt,
+		"DriverSteerAt": o.DriverSteerAt,
+		"MLRecoveryAt":  o.MLRecoveryAt,
+	} {
+		if v != -1 {
+			t.Errorf("%s = %v, want -1", name, v)
+		}
+	}
+	if !math.IsInf(o.MinTTC, 1) || !math.IsInf(o.MinLaneLineDist, 1) {
+		t.Error("minima should start at +Inf")
+	}
+	if !o.Prevented() {
+		t.Error("fresh outcome should count as prevented")
+	}
+}
+
+func TestMitigationTime(t *testing.T) {
+	o := NewOutcome()
+	if _, ok := o.MitigationTime(5); ok {
+		t.Error("no fault: mitigation time undefined")
+	}
+	o.FaultFirstAt = 10
+	if _, ok := o.MitigationTime(-1); ok {
+		t.Error("no intervention: undefined")
+	}
+	if d, ok := o.MitigationTime(13.5); !ok || d != 3.5 {
+		t.Errorf("mitigation time = %v ok=%v", d, ok)
+	}
+	// Intervention already active before the fault clamps to zero.
+	if d, ok := o.MitigationTime(8); !ok || d != 0 {
+		t.Errorf("pre-fault intervention = %v ok=%v", d, ok)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestAggregateOutcomes(t *testing.T) {
+	mk := func(acc Accident, faultAt, aebAt, drbAt, drsAt float64) Outcome {
+		o := NewOutcome()
+		o.Accident = acc
+		o.FaultFirstAt = faultAt
+		o.AEBBrakeAt = aebAt
+		o.DriverBrakeAt = drbAt
+		o.DriverSteerAt = drsAt
+		return o
+	}
+	outs := []Outcome{
+		mk(AccidentA1, 10, 12, -1, -1),
+		mk(AccidentA2, 10, -1, 13, 14),
+		mk(AccidentNone, 10, 11, 12, -1),
+		mk(AccidentNone, -1, -1, -1, -1),
+	}
+	agg := AggregateOutcomes(outs)
+	if agg.Runs != 4 {
+		t.Errorf("runs = %d", agg.Runs)
+	}
+	if agg.A1Rate != 0.25 || agg.A2Rate != 0.25 || math.Abs(agg.Prevented-0.5) > 1e-12 {
+		t.Errorf("rates = %v/%v/%v", agg.A1Rate, agg.A2Rate, agg.Prevented)
+	}
+	if agg.AEBTriggerRate != 0.5 || agg.DriverBrakeTriggerRate != 0.5 || agg.DriverSteerTriggerRate != 0.25 {
+		t.Errorf("trigger rates = %v/%v/%v", agg.AEBTriggerRate, agg.DriverBrakeTriggerRate, agg.DriverSteerTriggerRate)
+	}
+	// AEB mitigation times: (12-10)=2 and (11-10)=1 -> mean 1.5.
+	if agg.AvgAEBTime != 1.5 {
+		t.Errorf("avg AEB time = %v", agg.AvgAEBTime)
+	}
+	if agg.AvgDriverBrakeTime != 2.5 { // (13-10)=3 and (12-10)=2
+		t.Errorf("avg driver brake time = %v", agg.AvgDriverBrakeTime)
+	}
+}
+
+func TestAggregateRatesSumProperty(t *testing.T) {
+	f := func(accidents []uint8) bool {
+		if len(accidents) == 0 {
+			return true
+		}
+		outs := make([]Outcome, len(accidents))
+		for i, a := range accidents {
+			o := NewOutcome()
+			o.Accident = Accident(a % 3)
+			outs[i] = o
+		}
+		agg := AggregateOutcomes(outs)
+		sum := agg.A1Rate + agg.A2Rate + agg.Prevented
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := AggregateOutcomes(nil)
+	if agg.Runs != 0 || agg.A1Rate != 0 {
+		t.Errorf("empty aggregate = %+v", agg)
+	}
+}
+
+func TestTraceAppend(t *testing.T) {
+	var tr Trace
+	tr.Append(Sample{T: 0.01})
+	tr.Append(Sample{T: 0.02})
+	if tr.Len() != 2 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if tr.Samples[1].T != 0.02 {
+		t.Error("sample order wrong")
+	}
+}

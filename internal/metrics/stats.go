@@ -1,0 +1,94 @@
+package metrics
+
+import "math"
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: successes k out of n trials at the given z value
+// (1.96 for 95 %). It is well behaved for the small n (= 120 runs per
+// cell) and extreme proportions (0 %, 100 %) that the campaign produces,
+// unlike the normal approximation.
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if z <= 0 {
+		z = 1.96
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	centre := p + z*z/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = (centre - margin) / denom
+	hi = (centre + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// RateCI summarises a rate with its 95 % Wilson interval.
+type RateCI struct {
+	Rate float64
+	Lo   float64
+	Hi   float64
+}
+
+// NewRateCI builds a RateCI from k successes out of n trials.
+func NewRateCI(k, n int) RateCI {
+	lo, hi := WilsonInterval(k, n, 1.96)
+	rate := 0.0
+	if n > 0 {
+		rate = float64(k) / float64(n)
+	}
+	return RateCI{Rate: rate, Lo: lo, Hi: hi}
+}
+
+// PreventionCI computes the prevention rate of a set of outcomes with its
+// confidence interval.
+func PreventionCI(outs []Outcome) RateCI {
+	prevented := 0
+	for _, o := range outs {
+		if o.Prevented() {
+			prevented++
+		}
+	}
+	return NewRateCI(prevented, len(outs))
+}
+
+// Quantile returns the q-quantile (0..1) of xs using linear
+// interpolation. xs is copied and sorted; an empty slice returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	insertionSort(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// insertionSort keeps the stats path dependency-free (the slices involved
+// are tiny: one value per campaign run).
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

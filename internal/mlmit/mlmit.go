@@ -1,0 +1,174 @@
+// Package mlmit implements the paper's ML-based hazard-mitigation baseline
+// (Section IV-D, Algorithm 1): a stacked-LSTM regressor predicts the
+// expected gas (acceleration) and steering (curvature) outputs from
+// fault-free sensor data; a CUSUM-style accumulator compares the ML
+// predictions with the OpenPilot controller outputs and switches the
+// actuator to the ML outputs while in recovery mode.
+package mlmit
+
+import (
+	"fmt"
+	"math"
+
+	"adasim/internal/nn"
+	"adasim/internal/vehicle"
+)
+
+// HistorySteps is the input window length: 20 control cycles = 0.2 s at
+// the 100 Hz control frequency, per the paper.
+const HistorySteps = 20
+
+// Frame is one step of fault-free model input: the ego state plus the
+// control outputs of the previous cycle.
+type Frame struct {
+	EgoSpeed      float64 // m/s (independent/redundant sensor)
+	LeadDistance  float64 // true relative distance (m); detection range when no lead
+	LaneLineLeft  float64 // true distance to left lane line (m)
+	LaneLineRight float64 // true distance to right lane line (m)
+	PrevAccel     float64 // previous cycle's executed acceleration (m/s^2)
+	PrevCurvature float64 // previous cycle's executed curvature (1/m)
+}
+
+// featureScale normalises each feature to roughly unit range.
+var featureScale = [6]float64{30, 80, 2, 2, 4, 0.05}
+
+// outputScale normalises the two regression targets (accel, curvature).
+var outputScale = [2]float64{4, 0.05}
+
+// FeatureDim is the model input width.
+const FeatureDim = 6
+
+// OutputDim is the model output width (gas, steering).
+const OutputDim = 2
+
+// Vector returns the scaled feature vector for the frame.
+func (f Frame) Vector() []float64 {
+	return []float64{
+		f.EgoSpeed / featureScale[0],
+		f.LeadDistance / featureScale[1],
+		f.LaneLineLeft / featureScale[2],
+		f.LaneLineRight / featureScale[3],
+		f.PrevAccel / featureScale[4],
+		f.PrevCurvature / featureScale[5],
+	}
+}
+
+// ScaleTarget converts a command into the scaled regression target.
+func ScaleTarget(cmd vehicle.Command) []float64 {
+	return []float64{cmd.Accel / outputScale[0], cmd.Curvature / outputScale[1]}
+}
+
+// UnscaleOutput converts a scaled model output back into a command.
+func UnscaleOutput(out []float64) vehicle.Command {
+	return vehicle.Command{
+		Accel:     out[0] * outputScale[0],
+		Curvature: out[1] * outputScale[1],
+	}
+}
+
+// Config holds the Algorithm 1 parameters.
+type Config struct {
+	// Threshold is tau: recovery mode activates when the accumulated
+	// error S exceeds it.
+	Threshold float64
+	// Bias is b(t) > 0: the per-step bias keeping S at zero under
+	// normal conditions, and the exit criterion while in recovery.
+	Bias float64
+}
+
+// DefaultConfig returns the detector parameters used in the experiments.
+func DefaultConfig() Config {
+	return Config{Threshold: 2.0, Bias: 0.25}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Threshold <= 0 || c.Bias <= 0 {
+		return fmt.Errorf("mlmit: Threshold and Bias must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Mitigator is a stateful Algorithm 1 instance.
+type Mitigator struct {
+	cfg Config
+	net *nn.Network
+
+	history  [][]float64 // last HistorySteps scaled feature vectors
+	s        float64     // accumulated error S(t)
+	recovery bool
+
+	firstRecoveryAt float64
+	recoverySteps   int
+}
+
+// New constructs a Mitigator around a trained network. The network must
+// have input width FeatureDim and output width OutputDim.
+func New(cfg Config, net *nn.Network) (*Mitigator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if net == nil {
+		return nil, fmt.Errorf("mlmit: network is required")
+	}
+	return &Mitigator{cfg: cfg, net: net, firstRecoveryAt: -1}, nil
+}
+
+// Config returns the detector parameters.
+func (m *Mitigator) Config() Config { return m.cfg }
+
+// InRecovery reports whether recovery mode is active.
+func (m *Mitigator) InRecovery() bool { return m.recovery }
+
+// S returns the current accumulated error.
+func (m *Mitigator) S() float64 { return m.s }
+
+// FirstRecoveryAt returns when recovery mode first engaged, or -1.
+func (m *Mitigator) FirstRecoveryAt() float64 { return m.firstRecoveryAt }
+
+// RecoverySteps returns how many steps have executed ML outputs.
+func (m *Mitigator) RecoverySteps() int { return m.recoverySteps }
+
+// Update processes one control cycle at simulation time t: frame is the
+// fault-free sensor input, yOP the OpenPilot controller output. It
+// returns the command to execute and whether the ML output was selected.
+func (m *Mitigator) Update(t float64, frame Frame, yOP vehicle.Command) (vehicle.Command, bool) {
+	m.history = append(m.history, frame.Vector())
+	if len(m.history) > HistorySteps {
+		m.history = m.history[len(m.history)-HistorySteps:]
+	}
+	if len(m.history) < HistorySteps {
+		return yOP, false // not enough history yet
+	}
+
+	yML := UnscaleOutput(m.net.Predict(m.history))
+	delta := m.delta(yML, yOP)
+
+	// S(t+1) = max(0, S(t) + delta - b), kept non-negative.
+	m.s = math.Max(0, m.s+delta-m.cfg.Bias)
+	if m.s > m.cfg.Threshold {
+		if !m.recovery && m.firstRecoveryAt < 0 {
+			m.firstRecoveryAt = t
+		}
+		m.recovery = true
+	}
+
+	if m.recovery {
+		if delta <= m.cfg.Bias {
+			m.recovery = false
+			m.s = 0
+			return yOP, false
+		}
+		m.recoverySteps++
+		return yML, true
+	}
+	return yOP, false
+}
+
+// delta is the scaled prediction discrepancy |yML - yOP| combining both
+// control dimensions.
+func (m *Mitigator) delta(yML, yOP vehicle.Command) float64 {
+	da := math.Abs(yML.Accel-yOP.Accel) / outputScale[0]
+	dk := math.Abs(yML.Curvature-yOP.Curvature) / outputScale[1]
+	return da + dk
+}

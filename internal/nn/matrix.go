@@ -1,0 +1,111 @@
+// Package nn is a small, dependency-free neural-network substrate:
+// dense matrices, LSTM layers with backpropagation through time, a linear
+// head, Adam optimisation, and sequence-regression training. It exists to
+// support the paper's ML-based hazard-mitigation baseline (a two-layer
+// LSTM) without any external DL ecosystem.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVecAdd computes out += M * x. len(x) must equal Cols and len(out)
+// must equal Rows.
+func (m *Matrix) MulVecAdd(x, out []float64) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecAdd dims: M %dx%d, x %d, out %d",
+			m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := out[i]
+		for j, w := range row {
+			s += w * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// MulVecTAdd computes out += Mᵀ * x. len(x) must equal Rows and len(out)
+// must equal Cols.
+func (m *Matrix) MulVecTAdd(x, out []float64) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVecTAdd dims: M %dx%d, x %d, out %d",
+			m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			out[j] += xi * w
+		}
+	}
+}
+
+// AddOuter accumulates the outer product a ⊗ b into the matrix:
+// M[i][j] += a[i]*b[j].
+func (m *Matrix) AddOuter(a, b []float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("nn: AddOuter dims: M %dx%d, a %d, b %d",
+			m.Rows, m.Cols, len(a), len(b)))
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// Zero resets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// XavierInit fills the matrix with Glorot-uniform random weights.
+func (m *Matrix) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// zeros returns a fresh zero vector of length n.
+func zeros(n int) []float64 { return make([]float64, n) }
+
+// cloneVec copies a vector.
+func cloneVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}

@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMulVecAdd(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := make([]float64, 2)
+	m.MulVecAdd([]float64{1, 0, -1}, out)
+	if out[0] != -2 || out[1] != -2 {
+		t.Errorf("MulVecAdd = %v", out)
+	}
+	// Accumulates.
+	m.MulVecAdd([]float64{1, 0, -1}, out)
+	if out[0] != -4 || out[1] != -4 {
+		t.Errorf("accumulation = %v", out)
+	}
+}
+
+func TestMatrixMulVecTAdd(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := make([]float64, 3)
+	m.MulVecTAdd([]float64{1, 1}, out)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("MulVecTAdd = %v, want %v", out, want)
+			break
+		}
+	}
+}
+
+func TestMatrixAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter([]float64{1, 2}, []float64{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Errorf("AddOuter = %v, want %v", m.Data, want)
+			break
+		}
+	}
+}
+
+func TestMatrixDimPanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	assertPanics(t, func() { m.MulVecAdd(make([]float64, 2), make([]float64, 2)) })
+	assertPanics(t, func() { m.MulVecTAdd(make([]float64, 3), make([]float64, 3)) })
+	assertPanics(t, func() { m.AddOuter(make([]float64, 3), make([]float64, 2)) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+	if s := Sigmoid(100); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Sigmoid(100) = %v", s)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		s := Sigmoid(x)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSTMForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l, err := NewLSTM(3, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	hs := l.Forward(seq)
+	if len(hs) != 3 {
+		t.Fatalf("len(hs) = %d", len(hs))
+	}
+	for i, h := range hs {
+		if len(h) != 5 {
+			t.Errorf("step %d hidden dim %d", i, len(h))
+		}
+		for _, v := range h {
+			if math.IsNaN(v) || math.Abs(v) > 1 {
+				t.Errorf("hidden out of tanh range: %v", v)
+			}
+		}
+	}
+}
+
+func TestLSTMRejectsBadSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewLSTM(0, 5, rng); err == nil {
+		t.Error("zero input size should fail")
+	}
+	if _, err := NewLSTM(3, 0, rng); err == nil {
+		t.Error("zero hidden size should fail")
+	}
+	if _, err := NewDense(0, 1, rng); err == nil {
+		t.Error("zero dense input should fail")
+	}
+}
+
+// TestGradientCheck verifies the analytic BPTT gradients against central
+// finite differences on a tiny network.
+func TestGradientCheck(t *testing.T) {
+	net, err := NewNetwork(2, []int{4}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := Sample{
+		Seq:    [][]float64{{0.5, -0.3}, {0.1, 0.8}, {-0.6, 0.2}},
+		Target: []float64{0.7},
+	}
+	loss := func() float64 {
+		out := net.Predict(sample.Seq)
+		d := out[0] - sample.Target[0]
+		return d * d
+	}
+	net.ZeroGrad()
+	if _, err := net.backprop(sample); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	params := net.Params()
+	checked := 0
+	for pi, p := range params {
+		// Spot-check a handful of weights per tensor.
+		step := len(p.W)/5 + 1
+		for j := 0; j < len(p.W); j += step {
+			orig := p.W[j]
+			p.W[j] = orig + eps
+			up := loss()
+			p.W[j] = orig - eps
+			down := loss()
+			p.W[j] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.G[j]
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1e-4, math.Abs(numeric)+math.Abs(analytic))
+			if diff/scale > 1e-3 {
+				t.Errorf("tensor %d weight %d: numeric %v vs analytic %v", pi, j, numeric, analytic)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d weights checked", checked)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	net, err := NewNetwork(1, []int{8, 4}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learn to output the mean of a short sequence.
+	rng := rand.New(rand.NewSource(11))
+	makeSample := func() Sample {
+		seq := make([][]float64, 5)
+		var sum float64
+		for i := range seq {
+			v := rng.Float64()*2 - 1
+			seq[i] = []float64{v}
+			sum += v
+		}
+		return Sample{Seq: seq, Target: []float64{sum / 5}}
+	}
+	var train []Sample
+	for i := 0; i < 64; i++ {
+		train = append(train, makeSample())
+	}
+	opt := NewAdam(net.Params(), 5e-3)
+	first, err := net.TrainBatch(train[:16], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for epoch := 0; epoch < 60; epoch++ {
+		for i := 0; i+16 <= len(train); i += 16 {
+			last, err = net.TrainBatch(train[i:i+16], opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if last >= first/2 {
+		t.Errorf("training did not reduce loss: first %v, last %v", first, last)
+	}
+}
+
+func TestTrainBatchErrors(t *testing.T) {
+	net, _ := NewNetwork(2, []int{3}, 1, 1)
+	opt := NewAdam(net.Params(), 0)
+	if _, err := net.TrainBatch(nil, opt); err == nil {
+		t.Error("empty batch should fail")
+	}
+	bad := Sample{Seq: [][]float64{{1, 2}}, Target: []float64{1, 2}}
+	if _, err := net.TrainBatch([]Sample{bad}, opt); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	empty := Sample{Target: []float64{1}}
+	if _, err := net.TrainBatch([]Sample{empty}, opt); err == nil {
+		t.Error("empty sequence should fail")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(2, nil, 1, 1); err == nil {
+		t.Error("no hidden layers should fail")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	net, err := NewNetwork(3, []int{6, 4}, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.1, 0.2, 0.3}, {-0.1, 0.5, 0}}
+	before := net.Predict(seq)
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := loaded.Predict(seq)
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-12 {
+			t.Errorf("output %d changed: %v -> %v", i, before[i], after[i])
+		}
+	}
+	if got := loaded.HiddenSizes(); len(got) != 2 || got[0] != 6 || got[1] != 4 {
+		t.Errorf("hidden sizes = %v", got)
+	}
+}
+
+func TestLoadNetworkGarbage(t *testing.T) {
+	if _, err := LoadNetwork(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise (w-3)^2 directly through the Param interface.
+	w := []float64{0}
+	g := []float64{0}
+	opt := NewAdam([]Param{{W: w, G: g}}, 0.1)
+	for i := 0; i < 500; i++ {
+		g[0] = 2 * (w[0] - 3)
+		opt.Step()
+	}
+	if math.Abs(w[0]-3) > 0.05 {
+		t.Errorf("Adam did not converge: w = %v", w[0])
+	}
+}

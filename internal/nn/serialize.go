@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// netSnapshot is the gob wire format for a Network.
+type netSnapshot struct {
+	InSize  int
+	Hidden  []int
+	OutSize int
+	Weights [][]float64
+}
+
+// Save serialises the network architecture and weights.
+func (n *Network) Save(w io.Writer) error {
+	snap := netSnapshot{
+		InSize:  n.lstms[0].InSize,
+		Hidden:  n.HiddenSizes(),
+		OutSize: n.head.OutSize,
+	}
+	for _, p := range n.Params() {
+		snap.Weights = append(snap.Weights, cloneVec(p.W))
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("nn: encode network: %w", err)
+	}
+	return nil
+}
+
+// LoadNetwork deserialises a network saved with Save.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var snap netSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	n, err := NewNetwork(snap.InSize, snap.Hidden, snap.OutSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	params := n.Params()
+	if len(params) != len(snap.Weights) {
+		return nil, fmt.Errorf("nn: snapshot has %d tensors, network expects %d",
+			len(snap.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(snap.Weights[i]) {
+			return nil, fmt.Errorf("nn: tensor %d size %d, want %d",
+				i, len(snap.Weights[i]), len(p.W))
+		}
+		copy(p.W, snap.Weights[i])
+	}
+	return n, nil
+}

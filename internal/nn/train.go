@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable tensor: weights W and accumulated gradients G
+// (aliases into the owning layer's storage).
+type Param struct {
+	W []float64
+	G []float64
+}
+
+// Adam is the Adam optimiser (Kingma & Ba) over a fixed parameter set.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	params []Param
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam constructs an optimiser for params. A zero lr defaults to 1e-3.
+func NewAdam(params []Param, lr float64) *Adam {
+	if lr == 0 {
+		lr = 1e-3
+	}
+	m := make([][]float64, len(params))
+	v := make([][]float64, len(params))
+	for i, p := range params {
+		m[i] = make([]float64, len(p.W))
+		v[i] = make([]float64, len(p.W))
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, params: params, m: m, v: v}
+}
+
+// Step applies one Adam update using the gradients currently accumulated
+// in the parameter set, then the caller should zero the gradients.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		for j := range p.W {
+			g := p.G[j]
+			a.m[i][j] = a.Beta1*a.m[i][j] + (1-a.Beta1)*g
+			a.v[i][j] = a.Beta2*a.v[i][j] + (1-a.Beta2)*g*g
+			mHat := a.m[i][j] / bc1
+			vHat := a.v[i][j] / bc2
+			p.W[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+}
+
+// Network is a stacked-LSTM sequence regressor with a linear head reading
+// the final hidden state — the architecture of the paper's ML baseline
+// (two LSTM layers, e.g. 128/64 hidden units, predicting the next control
+// outputs).
+type Network struct {
+	lstms []*LSTM
+	head  *Dense
+}
+
+// NewNetwork builds a network with the given input size, hidden layer
+// sizes (one LSTM per entry), and output size.
+func NewNetwork(inSize int, hidden []int, outSize int, seed int64) (*Network, error) {
+	if len(hidden) == 0 {
+		return nil, fmt.Errorf("nn: need at least one hidden layer")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	prev := inSize
+	for _, h := range hidden {
+		l, err := NewLSTM(prev, h, rng)
+		if err != nil {
+			return nil, err
+		}
+		n.lstms = append(n.lstms, l)
+		prev = h
+	}
+	head, err := NewDense(prev, outSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	n.head = head
+	return n, nil
+}
+
+// HiddenSizes returns the hidden layer widths.
+func (n *Network) HiddenSizes() []int {
+	sizes := make([]int, len(n.lstms))
+	for i, l := range n.lstms {
+		sizes[i] = l.HiddenSize
+	}
+	return sizes
+}
+
+// Predict runs the network over a sequence and returns the regression
+// output at the final timestep.
+func (n *Network) Predict(seq [][]float64) []float64 {
+	hs := seq
+	for _, l := range n.lstms {
+		hs = l.Forward(hs)
+	}
+	return n.head.Forward(hs[len(hs)-1])
+}
+
+// Sample is one training example: an input sequence and the target output
+// at the final step.
+type Sample struct {
+	Seq    [][]float64
+	Target []float64
+}
+
+// Params returns all trainable tensors in the network.
+func (n *Network) Params() []Param {
+	var ps []Param
+	for _, l := range n.lstms {
+		ps = append(ps, l.Params()...)
+	}
+	ps = append(ps, n.head.Params()...)
+	return ps
+}
+
+// ZeroGrad clears all gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.lstms {
+		l.ZeroGrad()
+	}
+	n.head.ZeroGrad()
+}
+
+// TrainBatch accumulates gradients over the batch (mean squared error at
+// the final timestep), applies one optimiser step, and returns the mean
+// loss.
+func (n *Network) TrainBatch(batch []Sample, opt *Adam) (float64, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	n.ZeroGrad()
+	var total float64
+	for _, s := range batch {
+		loss, err := n.backprop(s)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+	}
+	// Scale gradients to the batch mean.
+	inv := 1 / float64(len(batch))
+	for _, p := range n.Params() {
+		for j := range p.G {
+			p.G[j] *= inv
+		}
+	}
+	opt.Step()
+	return total / float64(len(batch)), nil
+}
+
+// backprop runs forward + backward for one sample, accumulating gradients.
+func (n *Network) backprop(s Sample) (float64, error) {
+	if len(s.Seq) == 0 {
+		return 0, fmt.Errorf("nn: empty sequence")
+	}
+	hs := s.Seq
+	for _, l := range n.lstms {
+		hs = l.Forward(hs)
+	}
+	out := n.head.Forward(hs[len(hs)-1])
+	if len(out) != len(s.Target) {
+		return 0, fmt.Errorf("nn: target dim %d, output dim %d", len(s.Target), len(out))
+	}
+	// MSE loss and its gradient.
+	dOut := make([]float64, len(out))
+	var loss float64
+	for j := range out {
+		diff := out[j] - s.Target[j]
+		loss += diff * diff
+		dOut[j] = 2 * diff / float64(len(out))
+	}
+	loss /= float64(len(out))
+
+	// Backpropagate: only the final timestep receives head gradient; each
+	// LSTM's input gradients become the hidden-state gradients of the
+	// layer below it.
+	dh := n.head.Backward(dOut)
+	dHs := make([][]float64, len(s.Seq))
+	dHs[len(s.Seq)-1] = dh
+	for i := len(n.lstms) - 1; i >= 0; i-- {
+		dHs = n.lstms[i].Backward(dHs)
+	}
+	return loss, nil
+}

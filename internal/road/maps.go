@@ -1,0 +1,65 @@
+package road
+
+import "adasim/internal/geo"
+
+// MapKind selects one of the built-in highway maps.
+type MapKind int
+
+// Built-in maps. The paper's experiments use a dry highway map with both
+// straight and curvy stretches so the ego catches the lead vehicle on each.
+const (
+	MapStraight MapKind = iota + 1
+	MapCurvy
+)
+
+// String returns the map name.
+func (k MapKind) String() string {
+	switch k {
+	case MapStraight:
+		return "straight"
+	case MapCurvy:
+		return "curvy"
+	default:
+		return "unknown"
+	}
+}
+
+// StraightSegments returns a single straight highway stretch of the given
+// length.
+func StraightSegments(length float64) []geo.Segment {
+	return []geo.Segment{{Length: length}}
+}
+
+// CurvySegments returns a highway profile alternating straights with gentle
+// arcs (radii 350-500 m), matching the high-speed-turn geometry on which
+// the paper observes poor lane centering (Table V, S3).
+func CurvySegments() []geo.Segment {
+	return []geo.Segment{
+		{Length: 400},                       // run-up straight
+		{Length: 300, Curvature: 1 / 450.},  // gentle left
+		{Length: 200},                       // straight
+		{Length: 280, Curvature: -1 / 350.}, // tighter right
+		{Length: 250},                       // straight
+		{Length: 320, Curvature: 1 / 500.},  // gentle left
+		{Length: 1500},                      // long exit straight
+	}
+}
+
+// BuildMap constructs a 3-lane highway Road of the requested kind with the
+// given friction (0 means DefaultFriction) and patch zones.
+func BuildMap(kind MapKind, friction float64, patches []PatchZone) (*Road, error) {
+	var segs []geo.Segment
+	switch kind {
+	case MapCurvy:
+		segs = CurvySegments()
+	default:
+		segs = StraightSegments(3000)
+	}
+	return New(Config{
+		Segments: segs,
+		NumLanes: 3,
+		RefLane:  1, // ego drives the middle lane
+		Friction: friction,
+		Patches:  patches,
+	})
+}

@@ -1,0 +1,157 @@
+// Package safety arbitrates among the ADAS controller, the ML mitigation
+// baseline, the human driver, and the AEBS, resolving conflicts by the
+// priority order the paper assigns (AEB highest, firmware safety checking
+// lowest). The firmware check is applied only to machine commands (ADAS /
+// ML); AEB and driver inputs bypass it, which is exactly why the check has
+// the lowest priority.
+package safety
+
+import (
+	"adasim/internal/aebs"
+	"adasim/internal/driver"
+	"adasim/internal/panda"
+	"adasim/internal/vehicle"
+)
+
+// Source identifies which agent produced a command channel.
+type Source int
+
+// Command sources in increasing priority order.
+const (
+	SourceADAS Source = iota + 1
+	SourceML
+	SourceMonitor
+	SourceDriver
+	SourceAEB
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	switch s {
+	case SourceADAS:
+		return "adas"
+	case SourceML:
+		return "ml"
+	case SourceMonitor:
+		return "monitor"
+	case SourceDriver:
+		return "driver"
+	case SourceAEB:
+		return "aeb"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the arbiter.
+type Config struct {
+	// AEBOverridesDriver reproduces the paper's priority hierarchy in
+	// which an active AEB suppresses human steering input (the source of
+	// Observation 4's conflict). Disable for the ablation study.
+	AEBOverridesDriver bool
+	// MaxBrake converts the AEBS brake fraction into a deceleration
+	// (m/s^2, positive).
+	MaxBrake float64
+	// Checker is the firmware safety checker; nil disables safety
+	// checking.
+	Checker *panda.Checker
+}
+
+// Inputs carries the per-step candidate commands.
+type Inputs struct {
+	// ADAS is the OpenPilot controller output.
+	ADAS vehicle.Command
+	// ML is the mitigation baseline output; MLActive selects it over
+	// ADAS (Algorithm 1 recovery mode).
+	ML       vehicle.Command
+	MLActive bool
+	// Monitor is the rule-based runtime monitor's fallback command;
+	// MonitorActive selects it over ADAS/ML outputs.
+	Monitor       vehicle.Command
+	MonitorActive bool
+	// Driver is the human intervention.
+	Driver driver.Intervention
+	// AEB is the AEBS decision.
+	AEB aebs.Decision
+	// DT is the control period for the checker's rate limit (s).
+	DT float64
+}
+
+// Result is the arbitrated actuator command with provenance.
+type Result struct {
+	Cmd vehicle.Command
+	// LongSource / LatSource record which agent controls each channel.
+	LongSource Source
+	LatSource  Source
+	// CheckerModified reports whether the firmware check altered the
+	// machine command this step.
+	CheckerModified bool
+}
+
+// Arbiter resolves command conflicts.
+type Arbiter struct {
+	cfg Config
+}
+
+// New constructs an Arbiter. MaxBrake must be positive.
+func New(cfg Config) *Arbiter {
+	if cfg.MaxBrake <= 0 {
+		cfg.MaxBrake = 9.8
+	}
+	return &Arbiter{cfg: cfg}
+}
+
+// Config returns the arbiter configuration.
+func (a *Arbiter) Config() Config { return a.cfg }
+
+// Arbitrate produces the final actuator command for one step.
+func (a *Arbiter) Arbitrate(in Inputs) Result {
+	// Machine command: ML replaces ADAS while in recovery mode; the
+	// runtime monitor's fallback outranks both machine sources.
+	machine := in.ADAS
+	machineSrc := SourceADAS
+	if in.MLActive {
+		machine = in.ML
+		machineSrc = SourceML
+	}
+	if in.MonitorActive {
+		machine = in.Monitor
+		machineSrc = SourceMonitor
+	}
+	res := Result{Cmd: machine, LongSource: machineSrc, LatSource: machineSrc}
+
+	// Firmware safety check: lowest priority, machine commands only.
+	if a.cfg.Checker != nil {
+		checked, modified := a.cfg.Checker.Check(machine, in.DT)
+		res.Cmd = checked
+		res.CheckerModified = modified
+	}
+	machineLat := res.Cmd.Curvature
+
+	// Driver interventions override machine commands.
+	driverSteerAllowed := in.Driver.SteerActive
+	if in.Driver.BrakeActive {
+		res.Cmd.Accel = in.Driver.BrakeAccel
+		res.LongSource = SourceDriver
+		// Per Table II the driver's emergency brake keeps the steering
+		// angle unchanged, so the lateral channel stays as-is unless the
+		// driver is also steering.
+	}
+	if driverSteerAllowed {
+		res.Cmd.Curvature = in.Driver.SteerCurvature
+		res.LatSource = SourceDriver
+	}
+
+	// AEB: highest priority on the longitudinal channel. When it
+	// overrides the driver it also suppresses the human steering input
+	// (the paper's conflict case).
+	if in.AEB.Braking() {
+		res.Cmd.Accel = -in.AEB.BrakeFraction * a.cfg.MaxBrake
+		res.LongSource = SourceAEB
+		if a.cfg.AEBOverridesDriver && driverSteerAllowed {
+			res.Cmd.Curvature = machineLat
+			res.LatSource = SourceAEB
+		}
+	}
+	return res
+}

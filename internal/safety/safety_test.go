@@ -1,0 +1,177 @@
+package safety
+
+import (
+	"testing"
+
+	"adasim/internal/aebs"
+	"adasim/internal/driver"
+	"adasim/internal/panda"
+	"adasim/internal/vehicle"
+)
+
+func arb(t *testing.T, withChecker bool, aebOverrides bool) *Arbiter {
+	t.Helper()
+	cfg := Config{AEBOverridesDriver: aebOverrides, MaxBrake: 9.8}
+	if withChecker {
+		checker, err := panda.New(panda.DefaultLimits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Checker = checker
+	}
+	return New(cfg)
+}
+
+func TestADASPassThrough(t *testing.T) {
+	a := arb(t, false, true)
+	in := Inputs{ADAS: vehicle.Command{Accel: 1.5, Curvature: 0.002}, DT: 0.01}
+	res := a.Arbitrate(in)
+	if res.Cmd != in.ADAS {
+		t.Errorf("cmd = %+v", res.Cmd)
+	}
+	if res.LongSource != SourceADAS || res.LatSource != SourceADAS {
+		t.Errorf("sources = %v/%v", res.LongSource, res.LatSource)
+	}
+}
+
+func TestMLReplacesADAS(t *testing.T) {
+	a := arb(t, false, true)
+	in := Inputs{
+		ADAS:     vehicle.Command{Accel: 1.5},
+		ML:       vehicle.Command{Accel: -2},
+		MLActive: true,
+		DT:       0.01,
+	}
+	res := a.Arbitrate(in)
+	if res.Cmd.Accel != -2 || res.LongSource != SourceML {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestDriverBrakeOverridesLongOnly(t *testing.T) {
+	a := arb(t, false, true)
+	in := Inputs{
+		ADAS:   vehicle.Command{Accel: 1.5, Curvature: 0.003},
+		Driver: driver.Intervention{BrakeActive: true, BrakeAccel: -6},
+		DT:     0.01,
+	}
+	res := a.Arbitrate(in)
+	if res.Cmd.Accel != -6 || res.LongSource != SourceDriver {
+		t.Errorf("long = %v from %v", res.Cmd.Accel, res.LongSource)
+	}
+	// Steering unchanged per Table II.
+	if res.Cmd.Curvature != 0.003 || res.LatSource != SourceADAS {
+		t.Errorf("lat = %v from %v", res.Cmd.Curvature, res.LatSource)
+	}
+}
+
+func TestDriverSteerOverridesLat(t *testing.T) {
+	a := arb(t, false, true)
+	in := Inputs{
+		ADAS:   vehicle.Command{Accel: 1.0, Curvature: 0.005},
+		Driver: driver.Intervention{SteerActive: true, SteerCurvature: -0.02},
+		DT:     0.01,
+	}
+	res := a.Arbitrate(in)
+	if res.Cmd.Curvature != -0.02 || res.LatSource != SourceDriver {
+		t.Errorf("lat = %v from %v", res.Cmd.Curvature, res.LatSource)
+	}
+	if res.Cmd.Accel != 1.0 {
+		t.Errorf("long should stay ADAS: %v", res.Cmd.Accel)
+	}
+}
+
+func TestAEBHighestPriority(t *testing.T) {
+	a := arb(t, false, true)
+	in := Inputs{
+		ADAS:   vehicle.Command{Accel: 2},
+		Driver: driver.Intervention{BrakeActive: true, BrakeAccel: -3},
+		AEB:    aebs.Decision{Phase: aebs.PhaseBrake95, BrakeFraction: 0.95},
+		DT:     0.01,
+	}
+	res := a.Arbitrate(in)
+	want := -0.95 * 9.8
+	if res.Cmd.Accel != want || res.LongSource != SourceAEB {
+		t.Errorf("long = %v from %v, want %v from aeb", res.Cmd.Accel, res.LongSource, want)
+	}
+}
+
+func TestAEBSuppressesDriverSteering(t *testing.T) {
+	// The Observation 4 conflict: with AEB priority, active AEB braking
+	// suppresses human steering input.
+	a := arb(t, false, true)
+	in := Inputs{
+		ADAS:   vehicle.Command{Curvature: 0.004},
+		Driver: driver.Intervention{SteerActive: true, SteerCurvature: -0.05},
+		AEB:    aebs.Decision{Phase: aebs.PhaseBrake90, BrakeFraction: 0.9},
+		DT:     0.01,
+	}
+	res := a.Arbitrate(in)
+	if res.Cmd.Curvature != 0.004 || res.LatSource != SourceAEB {
+		t.Errorf("lat = %v from %v, want machine curvature under AEB", res.Cmd.Curvature, res.LatSource)
+	}
+}
+
+func TestDriverPriorityAblation(t *testing.T) {
+	// With the hierarchy inverted the driver keeps steering under AEB.
+	a := arb(t, false, false)
+	in := Inputs{
+		ADAS:   vehicle.Command{Curvature: 0.004},
+		Driver: driver.Intervention{SteerActive: true, SteerCurvature: -0.05},
+		AEB:    aebs.Decision{Phase: aebs.PhaseBrake90, BrakeFraction: 0.9},
+		DT:     0.01,
+	}
+	res := a.Arbitrate(in)
+	if res.Cmd.Curvature != -0.05 || res.LatSource != SourceDriver {
+		t.Errorf("lat = %v from %v, want driver", res.Cmd.Curvature, res.LatSource)
+	}
+	// AEB still owns the longitudinal channel.
+	if res.LongSource != SourceAEB {
+		t.Errorf("long source = %v", res.LongSource)
+	}
+}
+
+func TestCheckerClampsMachineOnly(t *testing.T) {
+	a := arb(t, true, true)
+	// Machine command beyond the ISO bounds is clamped...
+	in := Inputs{ADAS: vehicle.Command{Accel: -8}, DT: 0.01}
+	res := a.Arbitrate(in)
+	if res.Cmd.Accel != -3.5 || !res.CheckerModified {
+		t.Errorf("machine clamp: %v (mod=%v)", res.Cmd.Accel, res.CheckerModified)
+	}
+	// ...but driver braking bypasses the checker (lowest priority).
+	in2 := Inputs{
+		ADAS:   vehicle.Command{Accel: 1},
+		Driver: driver.Intervention{BrakeActive: true, BrakeAccel: -7},
+		DT:     0.01,
+	}
+	res2 := a.Arbitrate(in2)
+	if res2.Cmd.Accel != -7 {
+		t.Errorf("driver braking should bypass checker: %v", res2.Cmd.Accel)
+	}
+	// ...and AEB full braking bypasses it too.
+	in3 := Inputs{
+		ADAS: vehicle.Command{Accel: 1},
+		AEB:  aebs.Decision{Phase: aebs.PhaseBrake100, BrakeFraction: 1},
+		DT:   0.01,
+	}
+	res3 := a.Arbitrate(in3)
+	if res3.Cmd.Accel != -9.8 {
+		t.Errorf("AEB should bypass checker: %v", res3.Cmd.Accel)
+	}
+}
+
+func TestDefaultMaxBrake(t *testing.T) {
+	a := New(Config{})
+	if a.Config().MaxBrake != 9.8 {
+		t.Errorf("default MaxBrake = %v", a.Config().MaxBrake)
+	}
+}
+
+func TestSourceStrings(t *testing.T) {
+	for s := SourceADAS; s <= SourceAEB; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("source %d has no name", s)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"math"
+
+	"adasim/internal/units"
+	"adasim/internal/vehicle"
+	"adasim/internal/world"
+)
+
+// TriggerKind selects how a behaviour phase change is triggered.
+type TriggerKind int
+
+// Trigger kinds.
+const (
+	// TriggerAtTime fires at a fixed simulation time.
+	TriggerAtTime TriggerKind = iota + 1
+	// TriggerEgoGapBelow fires when the longitudinal centre distance
+	// between the ego and this actor drops below the value.
+	TriggerEgoGapBelow
+)
+
+// Trigger describes when a behaviour phase change happens.
+type Trigger struct {
+	Kind  TriggerKind
+	Value float64
+}
+
+// fired reports whether the trigger condition holds.
+func (tr Trigger) fired(t float64, self vehicle.State, w *world.World) bool {
+	switch tr.Kind {
+	case TriggerAtTime:
+		return t >= tr.Value
+	case TriggerEgoGapBelow:
+		return self.S-w.Ego().State().S <= tr.Value
+	default:
+		return false
+	}
+}
+
+// LeadBehavior is a scripted lane-following controller with up to one
+// triggered speed change and one triggered lane change. It implements
+// world.Controller.
+type LeadBehavior struct {
+	// InitialSpeed is the target cruise speed (m/s).
+	InitialSpeed float64
+	// SpeedTrigger switches the target to TriggeredSpeed when fired;
+	// Kind 0 disables it.
+	SpeedTrigger   Trigger
+	TriggeredSpeed float64
+	// BrakeDecel is the deceleration used to reach a lower target
+	// (m/s^2, positive). Zero means a gentle default.
+	BrakeDecel float64
+	// LaneTrigger switches the lateral target to TargetLaneOffset over
+	// LaneChangeTime seconds; Kind 0 disables it.
+	LaneTrigger      Trigger
+	TargetLaneOffset float64
+	LaneChangeTime   float64
+	// InitialLaneOffset is the starting lateral target (m).
+	InitialLaneOffset float64
+
+	speedFired  bool
+	laneFiredAt float64
+}
+
+var _ world.Controller = (*LeadBehavior)(nil)
+
+// Command implements world.Controller.
+func (b *LeadBehavior) Command(t float64, self vehicle.State, w *world.World) vehicle.Command {
+	// Longitudinal: P control toward the current target speed.
+	target := b.InitialSpeed
+	if b.SpeedTrigger.Kind != 0 && !b.speedFired && b.SpeedTrigger.fired(t, self, w) {
+		b.speedFired = true
+	}
+	if b.speedFired {
+		target = b.TriggeredSpeed
+	}
+	accel := 0.8 * (target - self.V)
+	maxBrake := b.BrakeDecel
+	if maxBrake == 0 {
+		maxBrake = 2.5
+	}
+	if b.speedFired && target < b.InitialSpeed && self.V > target+0.2 {
+		accel = -maxBrake // scripted hard braking phase
+	}
+	accel = units.Clamp(accel, -maxBrake, 2.0)
+
+	// Lateral: track the current lane-offset target.
+	latTarget := b.InitialLaneOffset
+	if b.LaneTrigger.Kind != 0 {
+		if b.laneFiredAt == 0 && b.LaneTrigger.fired(t, self, w) {
+			b.laneFiredAt = math.Max(t, 1e-9)
+		}
+		if b.laneFiredAt > 0 {
+			dur := b.LaneChangeTime
+			if dur <= 0 {
+				dur = 3
+			}
+			frac := units.Clamp((t-b.laneFiredAt)/dur, 0, 1)
+			// Smoothstep for a comfortable lane change.
+			frac = frac * frac * (3 - 2*frac)
+			latTarget = b.InitialLaneOffset + frac*(b.TargetLaneOffset-b.InitialLaneOffset)
+		}
+	}
+	kappa := b.trackOffset(self, w, latTarget)
+	return vehicle.Command{Accel: accel, Curvature: kappa}
+}
+
+// trackOffset returns the curvature command to follow the road at lateral
+// offset target.
+func (b *LeadBehavior) trackOffset(self vehicle.State, w *world.World, target float64) float64 {
+	look := math.Max(8, self.V*0.8)
+	latErr := (target - self.D) - look*math.Sin(self.Psi)
+	kappa := w.Road().CurvatureAt(self.S) + 2*latErr/(look*look)
+	return units.Clamp(kappa, -0.2, 0.2)
+}

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adasim/internal/road"
+	"adasim/internal/units"
+	"adasim/internal/vehicle"
+	"adasim/internal/world"
+)
+
+// egoStartS is where the ego begins on the map, leaving room behind.
+const egoStartS = 30.0
+
+// Setup is the constructed initial condition of a scenario run.
+type Setup struct {
+	Ego    *world.Actor
+	Actors []*world.Actor
+}
+
+// Build instantiates the scenario on the given road. Jitter (from rng,
+// which may be nil for deterministic placement) perturbs the initial gap
+// and ego speed slightly so repeated runs are not identical, standing in
+// for the run-to-run variation of the paper's 10 repetitions.
+func Build(spec Spec, r *road.Road, params vehicle.Params, rng *rand.Rand) (*Setup, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	gapJitter, speedJitter := 0.0, 0.0
+	if rng != nil {
+		gapJitter = (rng.Float64()*2 - 1) * 2.0   // +/- 2 m
+		speedJitter = (rng.Float64()*2 - 1) * 0.3 // +/- 0.3 m/s
+	}
+	egoDyn, err := vehicle.New(params, vehicle.State{
+		S: egoStartS,
+		V: spec.EgoSpeed + speedJitter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: ego: %w", err)
+	}
+	setup := &Setup{Ego: &world.Actor{Name: "ego", Dyn: egoDyn}}
+
+	leadS := egoStartS + spec.InitialGap + gapJitter + params.Length
+	mph30 := units.MPHToMS(30)
+	mph40 := units.MPHToMS(40)
+
+	addActor := func(name string, st vehicle.State, ctrl world.Controller) error {
+		dyn, err := vehicle.New(params, st)
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %w", name, err)
+		}
+		setup.Actors = append(setup.Actors, &world.Actor{Name: name, Dyn: dyn, Ctrl: ctrl})
+		return nil
+	}
+
+	switch spec.ID {
+	case S1:
+		err = addActor("lead", vehicle.State{S: leadS, V: mph30},
+			&LeadBehavior{InitialSpeed: mph30})
+	case S2:
+		err = addActor("lead", vehicle.State{S: leadS, V: mph30},
+			&LeadBehavior{
+				InitialSpeed:   mph30,
+				SpeedTrigger:   Trigger{Kind: TriggerEgoGapBelow, Value: 45},
+				TriggeredSpeed: mph40,
+			})
+	case S3:
+		err = addActor("lead", vehicle.State{S: leadS, V: mph40},
+			&LeadBehavior{
+				InitialSpeed:   mph40,
+				SpeedTrigger:   Trigger{Kind: TriggerEgoGapBelow, Value: 45},
+				TriggeredSpeed: mph30,
+				BrakeDecel:     2.0,
+			})
+	case S4:
+		err = addActor("lead", vehicle.State{S: leadS, V: mph30},
+			&LeadBehavior{
+				InitialSpeed:   mph30,
+				SpeedTrigger:   Trigger{Kind: TriggerEgoGapBelow, Value: 62},
+				TriggeredSpeed: 0,
+				BrakeDecel:     7.0, // sudden obstacle braking
+			})
+	case S5:
+		err = addActor("lead", vehicle.State{S: leadS, V: mph30},
+			&LeadBehavior{InitialSpeed: mph30})
+		if err == nil {
+			// Cut-in vehicle starts in the adjacent (left) lane slightly
+			// closer than the lead and merges into the ego lane when the
+			// ego gets near.
+			laneW := r.LaneWidth()
+			err = addActor("cutin", vehicle.State{S: leadS - 22, D: laneW, V: mph30},
+				&LeadBehavior{
+					InitialSpeed:      mph30,
+					InitialLaneOffset: laneW,
+					LaneTrigger:       Trigger{Kind: TriggerEgoGapBelow, Value: 30},
+					TargetLaneOffset:  0,
+					LaneChangeTime:    3,
+				})
+		}
+	case S6:
+		// Far lead continues in lane; the nearer second lead changes to
+		// the adjacent lane, revealing the far lead.
+		err = addActor("lead1", vehicle.State{S: leadS + 35, V: mph30},
+			&LeadBehavior{InitialSpeed: mph30})
+		if err == nil {
+			err = addActor("lead2", vehicle.State{S: leadS, V: mph30},
+				&LeadBehavior{
+					InitialSpeed:     mph30,
+					LaneTrigger:      Trigger{Kind: TriggerEgoGapBelow, Value: 35},
+					TargetLaneOffset: r.LaneWidth(),
+					LaneChangeTime:   3,
+				})
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown id %d", int(spec.ID))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return setup, nil
+}

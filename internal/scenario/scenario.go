@@ -1,0 +1,95 @@
+// Package scenario defines the six NHTSA pre-crash driving scenarios the
+// paper evaluates (Section IV-A, Fig. 4) and the scripted lead-vehicle
+// behaviours that realise them in the simulated world.
+package scenario
+
+import (
+	"fmt"
+
+	"adasim/internal/units"
+)
+
+// ID identifies one of the paper's driving scenarios.
+type ID int
+
+// The six scenarios.
+const (
+	S1 ID = iota + 1 // lead cruises at constant 30 mph
+	S2               // lead cruises at 30 mph, then accelerates to 40 mph
+	S3               // lead cruises at 40 mph, then decelerates to 30 mph
+	S4               // lead cruises at 30 mph, then suddenly brakes to a stop
+	S5               // lead at 30 mph; a neighbouring vehicle cuts into the ego lane
+	S6               // two leads at 30 mph; the closer one changes lanes away
+)
+
+// All returns the scenarios in order.
+func All() []ID { return []ID{S1, S2, S3, S4, S5, S6} }
+
+// String returns the scenario name (S1..S6).
+func (id ID) String() string {
+	if id < S1 || id > S6 {
+		return "unknown"
+	}
+	return fmt.Sprintf("S%d", int(id))
+}
+
+// Description returns the paper's description of the scenario.
+func (id ID) Description() string {
+	switch id {
+	case S1:
+		return "lead vehicle cruises at a constant speed (30 mph)"
+	case S2:
+		return "lead vehicle cruises at 30 mph and then accelerates to 40 mph"
+	case S3:
+		return "lead vehicle cruises at 40 mph and then decelerates to 30 mph"
+	case S4:
+		return "lead vehicle cruises at 30 mph and suddenly brakes to a stop"
+	case S5:
+		return "lead at 30 mph; vehicle from neighbouring lane cuts into the ego lane"
+	case S6:
+		return "two leads at 30 mph; the closer lead changes into an adjacent lane"
+	default:
+		return "unknown scenario"
+	}
+}
+
+// Spec is a fully parameterised scenario instance.
+type Spec struct {
+	ID ID
+	// EgoSpeed is the ego's initial and cruise speed (m/s). The paper
+	// uses 50 mph.
+	EgoSpeed float64
+	// InitialGap is the starting bumper-to-bumper distance to the
+	// (closest) lead vehicle (m): 60 or 230 in the paper.
+	InitialGap float64
+	// SpeedLimit is the posted limit used by the driver model (m/s).
+	SpeedLimit float64
+}
+
+// DefaultSpec returns the paper-parameterised spec for a scenario at one
+// of the two initial distances.
+func DefaultSpec(id ID, initialGap float64) Spec {
+	return Spec{
+		ID:         id,
+		EgoSpeed:   units.MPHToMS(50),
+		InitialGap: initialGap,
+		SpeedLimit: units.MPHToMS(50),
+	}
+}
+
+// InitialGaps returns the two initial distances evaluated by the paper.
+func InitialGaps() []float64 { return []float64{60, 230} }
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.ID < S1 || s.ID > S6 {
+		return fmt.Errorf("scenario: unknown id %d", int(s.ID))
+	}
+	if s.EgoSpeed <= 0 {
+		return fmt.Errorf("scenario: EgoSpeed must be positive")
+	}
+	if s.InitialGap <= 0 {
+		return fmt.Errorf("scenario: InitialGap must be positive")
+	}
+	return nil
+}

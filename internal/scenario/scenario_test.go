@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adasim/internal/road"
+	"adasim/internal/units"
+	"adasim/internal/vehicle"
+	"adasim/internal/world"
+)
+
+func buildOn(t *testing.T, id ID, gap float64, rng *rand.Rand) (*Setup, *road.Road) {
+	t.Helper()
+	r, err := road.BuildMap(road.MapCurvy, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := Build(DefaultSpec(id, gap), r, vehicle.DefaultParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return setup, r
+}
+
+func TestAllScenarios(t *testing.T) {
+	if len(All()) != 6 {
+		t.Fatalf("expected 6 scenarios, got %d", len(All()))
+	}
+	for _, id := range All() {
+		if id.String() == "unknown" || id.Description() == "unknown scenario" {
+			t.Errorf("scenario %d missing name/description", id)
+		}
+	}
+	if ID(99).String() != "unknown" {
+		t.Error("invalid id should be unknown")
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec(S1, 60)
+	if s.EgoSpeed != units.MPHToMS(50) {
+		t.Errorf("ego speed = %v", s.EgoSpeed)
+	}
+	if s.InitialGap != 60 || s.SpeedLimit != units.MPHToMS(50) {
+		t.Errorf("spec = %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{ID: 0, EgoSpeed: 20, InitialGap: 60},
+		{ID: S1, EgoSpeed: 0, InitialGap: 60},
+		{ID: S1, EgoSpeed: 20, InitialGap: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestInitialGaps(t *testing.T) {
+	gaps := InitialGaps()
+	if len(gaps) != 2 || gaps[0] != 60 || gaps[1] != 230 {
+		t.Errorf("gaps = %v", gaps)
+	}
+}
+
+func TestBuildActorCounts(t *testing.T) {
+	counts := map[ID]int{S1: 1, S2: 1, S3: 1, S4: 1, S5: 2, S6: 2}
+	for id, want := range counts {
+		setup, _ := buildOn(t, id, 60, nil)
+		if got := len(setup.Actors); got != want {
+			t.Errorf("%v: %d actors, want %d", id, got, want)
+		}
+		if setup.Ego == nil || setup.Ego.Dyn == nil {
+			t.Fatalf("%v: missing ego", id)
+		}
+	}
+}
+
+func TestBuildInitialConditions(t *testing.T) {
+	setup, _ := buildOn(t, S1, 60, nil)
+	ego := setup.Ego.State()
+	lead := setup.Actors[0].State()
+	if math.Abs(ego.V-units.MPHToMS(50)) > 1e-9 {
+		t.Errorf("ego speed = %v", ego.V)
+	}
+	if math.Abs(lead.V-units.MPHToMS(30)) > 1e-9 {
+		t.Errorf("lead speed = %v", lead.V)
+	}
+	gap := lead.S - ego.S - vehicle.DefaultParams().Length
+	if math.Abs(gap-60) > 1e-9 {
+		t.Errorf("initial gap = %v", gap)
+	}
+}
+
+func TestBuildJitterIsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		setup, _ := buildOn(t, S1, 60, rng)
+		ego := setup.Ego.State()
+		lead := setup.Actors[0].State()
+		gap := lead.S - ego.S - vehicle.DefaultParams().Length
+		if math.Abs(gap-60) > 2.001 {
+			t.Errorf("gap jitter too large: %v", gap)
+		}
+		if math.Abs(ego.V-units.MPHToMS(50)) > 0.301 {
+			t.Errorf("speed jitter too large: %v", ego.V)
+		}
+	}
+}
+
+func TestS5CutInStartsAdjacent(t *testing.T) {
+	setup, r := buildOn(t, S5, 60, nil)
+	var cutin *world.Actor
+	for _, a := range setup.Actors {
+		if a.Name == "cutin" {
+			cutin = a
+		}
+	}
+	if cutin == nil {
+		t.Fatal("missing cut-in actor")
+	}
+	if cutin.State().D != r.LaneWidth() {
+		t.Errorf("cut-in should start one lane left, D = %v", cutin.State().D)
+	}
+}
+
+func TestS6TwoLeadsOrdered(t *testing.T) {
+	setup, _ := buildOn(t, S6, 60, nil)
+	var l1, l2 *world.Actor
+	for _, a := range setup.Actors {
+		switch a.Name {
+		case "lead1":
+			l1 = a
+		case "lead2":
+			l2 = a
+		}
+	}
+	if l1 == nil || l2 == nil {
+		t.Fatal("missing leads")
+	}
+	if l1.State().S <= l2.State().S {
+		t.Error("lead1 should be farther than lead2")
+	}
+}
+
+func TestBuildRejectsInvalidSpec(t *testing.T) {
+	r, err := road.BuildMap(road.MapStraight, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(Spec{}, r, vehicle.DefaultParams(), nil); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+// runScenario steps a world forward with a simple ego cruise controller.
+func runScenario(t *testing.T, id ID, steps int) *world.World {
+	t.Helper()
+	r, err := road.BuildMap(road.MapCurvy, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := Build(DefaultSpec(id, 60), r, vehicle.DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := world.New(world.Config{Road: r, Ego: setup.Ego, Actors: setup.Actors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		w.Step(vehicle.Command{}) // ego coasts; actors follow their scripts
+	}
+	return w
+}
+
+func TestS2LeadAcceleratesWhenEgoNears(t *testing.T) {
+	w := runScenario(t, S2, 4000)
+	lead := w.Actors()[0]
+	if lead.State().V < units.MPHToMS(39) {
+		t.Errorf("S2 lead should have accelerated toward 40 mph, V = %v", lead.State().V)
+	}
+}
+
+func TestS4LeadStops(t *testing.T) {
+	w := runScenario(t, S4, 6000)
+	lead := w.Actors()[0]
+	if lead.State().V > 0.2 {
+		t.Errorf("S4 lead should have stopped, V = %v", lead.State().V)
+	}
+}
+
+func TestS6LeadChangesLane(t *testing.T) {
+	w := runScenario(t, S6, 6000)
+	for _, a := range w.Actors() {
+		if a.Name == "lead2" {
+			if math.Abs(a.State().D-w.Road().LaneWidth()) > 0.5 {
+				t.Errorf("lead2 should have moved one lane left, D = %v", a.State().D)
+			}
+			return
+		}
+	}
+	t.Fatal("lead2 not found")
+}
+
+func TestLeadBehaviorTracksLane(t *testing.T) {
+	w := runScenario(t, S1, 8000)
+	lead := w.Actors()[0]
+	if math.Abs(lead.State().D) > 0.5 {
+		t.Errorf("lead should stay near lane centre through curves, D = %v", lead.State().D)
+	}
+}
+
+func TestTriggerKinds(t *testing.T) {
+	r, _ := road.BuildMap(road.MapStraight, 0, nil)
+	egoDyn, _ := vehicle.New(vehicle.DefaultParams(), vehicle.State{S: 0, V: 20})
+	w, err := world.New(world.Config{Road: r, Ego: &world.Actor{Name: "ego", Dyn: egoDyn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := vehicle.State{S: 50}
+	if (Trigger{Kind: TriggerAtTime, Value: 5}).fired(4, self, w) {
+		t.Error("time trigger fired early")
+	}
+	if !(Trigger{Kind: TriggerAtTime, Value: 5}).fired(5, self, w) {
+		t.Error("time trigger should fire")
+	}
+	if (Trigger{Kind: TriggerEgoGapBelow, Value: 40}).fired(0, self, w) {
+		t.Error("gap trigger fired at 50 m")
+	}
+	if !(Trigger{Kind: TriggerEgoGapBelow, Value: 60}).fired(0, self, w) {
+		t.Error("gap trigger should fire at 50 m")
+	}
+	if (Trigger{}).fired(0, self, w) {
+		t.Error("zero trigger should never fire")
+	}
+}

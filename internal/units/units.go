@@ -1,0 +1,65 @@
+// Package units provides unit conversions and physical constants shared by
+// the simulation substrates. All internal computation uses SI units
+// (metres, seconds, radians); this package converts at the boundaries where
+// the paper specifies quantities in mph or degrees.
+package units
+
+import "math"
+
+// Physical constants.
+const (
+	// Gravity is standard gravitational acceleration in m/s^2.
+	Gravity = 9.81
+
+	// MetersPerMile is the length of one mile in metres.
+	MetersPerMile = 1609.344
+
+	// SecondsPerHour is the number of seconds in one hour.
+	SecondsPerHour = 3600.0
+)
+
+// MPHToMS converts miles per hour to metres per second.
+func MPHToMS(mph float64) float64 {
+	return mph * MetersPerMile / SecondsPerHour
+}
+
+// MSToMPH converts metres per second to miles per hour.
+func MSToMPH(ms float64) float64 {
+	return ms * SecondsPerHour / MetersPerMile
+}
+
+// KPHToMS converts kilometres per hour to metres per second.
+func KPHToMS(kph float64) float64 {
+	return kph * 1000.0 / SecondsPerHour
+}
+
+// MSToKPH converts metres per second to kilometres per hour.
+func MSToKPH(ms float64) float64 {
+	return ms * SecondsPerHour / 1000.0
+}
+
+// DegToRad converts degrees to radians.
+func DegToRad(deg float64) float64 {
+	return deg * math.Pi / 180.0
+}
+
+// RadToDeg converts radians to degrees.
+func RadToDeg(rad float64) float64 {
+	return rad * 180.0 / math.Pi
+}
+
+// Clamp limits v to the closed interval [lo, hi]. It requires lo <= hi.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NearlyEqual reports whether a and b differ by at most eps.
+func NearlyEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

@@ -1,0 +1,101 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMPHConversionKnownValues(t *testing.T) {
+	tests := []struct {
+		mph  float64
+		want float64
+	}{
+		{0, 0},
+		{30, 13.4112},
+		{40, 17.8816},
+		{50, 22.352},
+		{60, 26.8224},
+	}
+	for _, tt := range tests {
+		if got := MPHToMS(tt.mph); !NearlyEqual(got, tt.want, 1e-9) {
+			t.Errorf("MPHToMS(%v) = %v, want %v", tt.mph, got, tt.want)
+		}
+	}
+}
+
+func TestMPHRoundTrip(t *testing.T) {
+	f := func(mph float64) bool {
+		if math.IsNaN(mph) || math.Abs(mph) > 1e9 {
+			return true
+		}
+		return NearlyEqual(MSToMPH(MPHToMS(mph)), mph, 1e-6*math.Max(1, math.Abs(mph)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKPHRoundTrip(t *testing.T) {
+	f := func(kph float64) bool {
+		if math.IsNaN(kph) || math.Abs(kph) > 1e9 {
+			return true
+		}
+		return NearlyEqual(MSToKPH(KPHToMS(kph)), kph, 1e-6*math.Max(1, math.Abs(kph)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, deg := range []float64{-180, -90, -45, 0, 30, 90, 179.5} {
+		if got := RadToDeg(DegToRad(deg)); !NearlyEqual(got, deg, 1e-9) {
+			t.Errorf("round trip %v got %v", deg, got)
+		}
+	}
+	if !NearlyEqual(DegToRad(180), math.Pi, 1e-12) {
+		t.Errorf("DegToRad(180) = %v, want pi", DegToRad(180))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+		{-3.5, -3.5, 2, -3.5},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestClampProperties(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(v, lo, hi)
+		// Result lies within bounds and clamping is idempotent.
+		return c >= lo && c <= hi && Clamp(c, lo, hi) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	if !NearlyEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("expected nearly equal")
+	}
+	if NearlyEqual(1.0, 1.1, 1e-3) {
+		t.Error("expected not nearly equal")
+	}
+}
