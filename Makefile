@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# bench runs the perf-tracking benchmarks (hot-loop step, nn inference,
+# campaign throughput) with allocation reporting and writes the raw
+# test2json stream to BENCH_step.json so future PRs can diff the perf
+# trajectory.
+bench:
+	$(GO) test -json -run '^$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$' \
+		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
+	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
+		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+clean:
+	rm -f BENCH_step.json

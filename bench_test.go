@@ -288,6 +288,34 @@ func BenchmarkAblationCUSUM(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignThroughput measures a reduced fault-injection
+// campaign end to end: scenarios x gaps x reps closed-loop runs through
+// the worker pool, with the full intervention stack plus a small ML
+// mitigation network. This is the bench that tracks campaign-scale
+// run reuse and hot-loop allocation work across PRs.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	// Untrained weights are perf-representative: the mitigator runs the
+	// same inference per step regardless of what the network predicts.
+	net, err := nn.NewNetwork(mlmit.FeatureDim, []int{16, 8}, mlmit.OutputDim, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Reps: 1, Steps: 600, BaseSeed: 1}
+	iv := core.InterventionSet{
+		Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent,
+		ML: true, MLNet: net, Monitor: true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunMatrix(cfg, fi.DefaultParams(fi.TargetMixed), iv, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(runs)), "runs/op")
+	}
+}
+
 // BenchmarkPerception measures the perception sensor alone.
 func BenchmarkPerception(b *testing.B) {
 	p, err := core.NewPlatform(core.Options{
@@ -325,6 +353,69 @@ func BenchmarkLSTMPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = net.Predict(seq)
+	}
+}
+
+// BenchmarkLSTMInfer measures the allocation-free inference fast path on
+// the paper-sized (128/64) network over a 20-step window — the per-cycle
+// cost of the ML mitigation baseline in the closed loop.
+func BenchmarkLSTMInfer(b *testing.B) {
+	net, err := nn.NewNetwork(mlmit.FeatureDim, []int{128, 64}, mlmit.OutputDim, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := net.NewInferScratch()
+	seq := make([][]float64, mlmit.HistorySteps)
+	for i := range seq {
+		seq[i] = make([]float64, mlmit.FeatureDim)
+		seq[i][0] = float64(i) / 20
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.PredictInto(seq, sc)
+	}
+}
+
+// stepAllocPlatform builds a platform with the full intervention stack
+// (including ML mitigation) for the steady-state allocation checks.
+func stepAllocPlatform(t *testing.T) *core.Platform {
+	t.Helper()
+	net, err := nn.NewNetwork(mlmit.FeatureDim, []int{16, 8}, mlmit.OutputDim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPlatform(core.Options{
+		Scenario: scenario.DefaultSpec(scenario.S1, 60),
+		Fault:    fi.DefaultParams(fi.TargetMixed),
+		Interventions: core.InterventionSet{
+			Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent,
+			Monitor: true, ML: true, MLNet: net,
+		},
+		Seed:                  1,
+		Steps:                 1 << 30,
+		ContinueAfterAccident: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSimulationStepZeroAllocs asserts the tentpole invariant: one
+// closed-loop control cycle performs zero heap allocations in steady
+// state, even with every intervention (driver, checker, AEBS, runtime
+// monitor, ML mitigation) engaged. Platform construction is excluded.
+func TestSimulationStepZeroAllocs(t *testing.T) {
+	p := stepAllocPlatform(t)
+	for i := 0; i < 500; i++ { // fill latency ring, ML history, monitor windows
+		p.Step()
+	}
+	if p.Finished() {
+		t.Fatal("platform finished during warm-up")
+	}
+	if allocs := testing.AllocsPerRun(2000, p.Step); allocs != 0 {
+		t.Errorf("Platform.Step allocs/op = %v, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,3 @@
+module adasim
+
+go 1.24

@@ -42,9 +42,11 @@ type TrainingPoint struct {
 
 // Platform is an assembled closed-loop simulation ready to run. Most
 // callers use Run; Platform is exported for step-by-step inspection in
-// tests and examples.
+// tests and examples. After a run completes, Reset reinitialises the
+// platform for another run without rebuilding the expensive parts.
 type Platform struct {
 	opts Options
+	rng  *rand.Rand
 
 	road        *road.Road
 	world       *world.World
@@ -73,19 +75,66 @@ type Platform struct {
 
 // NewPlatform assembles a platform from options.
 func NewPlatform(opts Options) (*Platform, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
+	p := &Platform{}
+	if err := p.init(opts); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	patches := []road.PatchZone{{
-		StartS: opts.PatchStart,
-		EndS:   opts.PatchStart + opts.PatchLength,
-		Lane:   1,
-	}}
-	rd, err := road.BuildMap(opts.Map, road.DefaultFriction*opts.FrictionScale, patches)
-	if err != nil {
-		return nil, err
+	return p, nil
+}
+
+// Reset reinitialises the platform for a new run with the given options
+// and seed (seed overrides opts.Seed), reusing everything expensive the
+// previous run allocated: the road map (when the map configuration is
+// unchanged), the perception latency ring, the monitor windows, the ML
+// mitigator's network weights and inference scratch, and the world's
+// actor storage. A reset platform produces a bit-identical trajectory to
+// a freshly constructed one with the same options and seed.
+//
+// On error the platform may be partially reinitialised and must not be
+// stepped; construct a fresh one instead.
+func (p *Platform) Reset(opts Options, seed int64) error {
+	opts.Seed = seed
+	return p.init(opts)
+}
+
+// sameRoad reports whether two defaulted option sets build the same road.
+func sameRoad(a, b Options) bool {
+	return a.Map == b.Map && a.FrictionScale == b.FrictionScale &&
+		a.PatchStart == b.PatchStart && a.PatchLength == b.PatchLength
+}
+
+// traceCap bounds the preallocated trace capacity: full paper runs are
+// 10k steps, but benchmarks pass effectively unbounded step counts.
+const traceCap = 1 << 16
+
+// init (re)builds the platform state from opts. It is the shared body of
+// NewPlatform and Reset: on a fresh platform every component is
+// constructed; on reuse the buffer-heavy components are reset in place.
+// The rng draw order must not change — perception and driver seeds derive
+// from it and determinism across fresh/reused platforms depends on it.
+func (p *Platform) init(opts Options) error {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(opts.Seed))
+	} else {
+		p.rng.Seed(opts.Seed)
+	}
+	rng := p.rng
+	rd := p.road
+	if rd == nil || !sameRoad(p.opts, opts) {
+		patches := []road.PatchZone{{
+			StartS: opts.PatchStart,
+			EndS:   opts.PatchStart + opts.PatchLength,
+			Lane:   1,
+		}}
+		var err error
+		rd, err = road.BuildMap(opts.Map, road.DefaultFriction*opts.FrictionScale, patches)
+		if err != nil {
+			return err
+		}
 	}
 	params := vehicle.DefaultParams()
 	if opts.Vehicle != nil {
@@ -93,28 +142,38 @@ func NewPlatform(opts Options) (*Platform, error) {
 	}
 	setup, err := scenario.Build(opts.Scenario, rd, params, rng)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	w, err := world.New(world.Config{
+	wcfg := world.Config{
 		Road:   rd,
 		Ego:    setup.Ego,
 		Actors: setup.Actors,
 		Step:   opts.StepSize,
-	})
+	}
+	if p.world == nil {
+		p.world, err = world.New(wcfg)
+	} else {
+		err = p.world.Reset(wcfg)
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	pcfg := perception.DefaultConfig()
 	if opts.Perception != nil {
 		pcfg = *opts.Perception
 	}
-	pm, err := perception.New(pcfg, rng.Int63())
+	percepSeed := rng.Int63()
+	if p.percep == nil {
+		p.percep, err = perception.New(pcfg, percepSeed)
+	} else {
+		err = p.percep.Reset(pcfg, percepSeed)
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	injector, err := fi.New(opts.Fault)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opcfg := openpilot.DefaultConfig()
 	if opts.OpenPilot != nil {
@@ -123,7 +182,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 	opcfg.SetSpeed = opts.Scenario.EgoSpeed
 	opctl, err := openpilot.New(opcfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	acfg := aebs.DefaultConfig()
 	if opts.AEBS != nil {
@@ -133,7 +192,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 	if src := opts.Interventions.AEB; src != 0 && src != aebs.SourceDisabled {
 		aebSys, err = aebs.New(acfg, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	var drv *driver.Model
@@ -145,7 +204,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		dcfg.VehicleLength = params.Length
 		drv, err = driver.NewSeeded(dcfg, rng.Int63())
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	var checker *panda.Checker
@@ -156,7 +215,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		}
 		checker, err = panda.New(limits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	var extInjector *fi.ExtendedInjector
@@ -167,57 +226,70 @@ func NewPlatform(opts Options) (*Platform, error) {
 		}
 		extInjector, err = fi.NewExtended(opts.ExtendedFault, extParams)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	var mon *monitor.Monitor
 	if opts.Interventions.Monitor {
 		mcfg := monitor.DefaultConfig()
 		if opts.Interventions.MonitorConfig != nil {
 			mcfg = *opts.Interventions.MonitorConfig
 		}
-		mon, err = monitor.New(mcfg)
-		if err != nil {
-			return nil, err
+		if p.mon == nil {
+			p.mon, err = monitor.New(mcfg)
+		} else {
+			err = p.mon.Reset(mcfg)
 		}
+		if err != nil {
+			return err
+		}
+	} else {
+		p.mon = nil
 	}
-	var mit *mlmit.Mitigator
 	if opts.Interventions.ML {
 		mcfg := mlmit.DefaultConfig()
 		if opts.Interventions.MLConfig != nil {
 			mcfg = *opts.Interventions.MLConfig
 		}
-		mit, err = mlmit.New(mcfg, opts.Interventions.MLNet)
-		if err != nil {
-			return nil, err
+		if p.mit != nil && p.mit.Net() == opts.Interventions.MLNet {
+			err = p.mit.Reset(mcfg)
+		} else {
+			p.mit, err = mlmit.New(mcfg, opts.Interventions.MLNet)
 		}
+		if err != nil {
+			return err
+		}
+	} else {
+		p.mit = nil
 	}
-	arb := safety.New(safety.Config{
+
+	p.opts = opts
+	p.road = rd
+	p.injector = injector
+	p.extInjector = extInjector
+	p.opctl = opctl
+	p.aeb = aebSys
+	p.drv = drv
+	p.checker = checker
+	p.arbiter = safety.New(safety.Config{
 		AEBOverridesDriver: !opts.Interventions.DriverPriorityOverAEB,
 		MaxBrake:           params.MaxBrake,
 		Checker:            checker,
 	})
-	p := &Platform{
-		opts:        opts,
-		road:        rd,
-		world:       w,
-		percep:      pm,
-		injector:    injector,
-		extInjector: extInjector,
-		opctl:       opctl,
-		aeb:         aebSys,
-		drv:         drv,
-		checker:     checker,
-		arbiter:     arb,
-		mit:         mit,
-		mon:         mon,
-		outcome:     metrics.NewOutcome(),
-		aebsCfg:     acfg,
-	}
+	p.outcome = metrics.NewOutcome()
+	p.aebsCfg = acfg
+	// Traces and ML frames escape via Result, so reuse would clobber the
+	// previous run's data: hand out fresh storage each run instead.
+	p.trace = nil
 	if opts.RecordTrace {
-		p.trace = &metrics.Trace{}
+		p.trace = metrics.NewTrace(min(opts.Steps, traceCap))
 	}
-	return p, nil
+	p.mlPoints = nil
+	p.lastCmd = vehicle.Command{}
+	p.step = 0
+	p.finished = false
+	p.followSum = 0
+	p.followCount = 0
+	return nil
 }
 
 // World exposes the underlying world (read-mostly; used by tests).

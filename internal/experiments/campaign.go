@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -55,11 +56,13 @@ type RunKey struct {
 	Rep      int
 }
 
-// seedFor derives a deterministic per-run seed.
+// seedFor derives a deterministic per-run seed. The gap is hashed via its
+// IEEE-754 bit pattern: truncating it to int64 collided fractional gaps
+// (1.25 and 1.75 derived identical seeds).
 func seedFor(base int64, key RunKey, salt int64) int64 {
 	h := base
 	h = h*1000003 + int64(key.Scenario)
-	h = h*1000003 + int64(key.Gap)
+	h = h*1000003 + int64(math.Float64bits(key.Gap))
 	h = h*1000003 + int64(key.Rep)
 	h = h*1000003 + salt
 	if h < 0 {
@@ -77,6 +80,14 @@ type RunOutcome struct {
 // RunMatrix executes scenarios x gaps x reps runs of the given fault and
 // intervention set, applying cfg.Modify last. It returns outcomes in a
 // deterministic order.
+//
+// Runs fan out over cfg.Parallelism workers; each worker owns one
+// long-lived core.Platform that it resets per run, so the road map,
+// perception/monitor buffers, and ML inference scratch are built once per
+// worker instead of once per run. Every run is fully determined by its
+// options and derived seed (core.Platform.Reset guarantees bit-identical
+// trajectories versus a fresh platform), so results do not depend on
+// which worker executes which run.
 func RunMatrix(cfg Config, fault fi.Params, iv core.InterventionSet, salt int64) ([]RunOutcome, error) {
 	cfg = cfg.normalized()
 	var keys []RunKey
@@ -90,32 +101,44 @@ func RunMatrix(cfg Config, fault fi.Params, iv core.InterventionSet, salt int64)
 	outs := make([]RunOutcome, len(keys))
 	errs := make([]error, len(keys))
 
-	sem := make(chan struct{}, cfg.Parallelism)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for i, key := range keys {
+	for w := 0; w < cfg.Parallelism; w++ {
 		wg.Add(1)
-		go func(i int, key RunKey) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			opts := core.Options{
-				Scenario:      scenario.DefaultSpec(key.Scenario, key.Gap),
-				Fault:         fault,
-				Interventions: iv,
-				Seed:          seedFor(cfg.BaseSeed, key, salt),
-				Steps:         cfg.Steps,
+			var p *core.Platform
+			for i := range idx {
+				key := keys[i]
+				opts := core.Options{
+					Scenario:      scenario.DefaultSpec(key.Scenario, key.Gap),
+					Fault:         fault,
+					Interventions: iv,
+					Seed:          seedFor(cfg.BaseSeed, key, salt),
+					Steps:         cfg.Steps,
+				}
+				if cfg.Modify != nil {
+					cfg.Modify(&opts)
+				}
+				var err error
+				if p == nil {
+					p, err = core.NewPlatform(opts)
+				} else if err = p.Reset(opts, opts.Seed); err != nil {
+					p = nil // a failed Reset leaves the platform unusable
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("run %v/%v/%d: %w", key.Scenario, key.Gap, key.Rep, err)
+					continue
+				}
+				res := p.Run()
+				outs[i] = RunOutcome{Key: key, Outcome: res.Outcome}
 			}
-			if cfg.Modify != nil {
-				cfg.Modify(&opts)
-			}
-			res, err := core.Run(opts)
-			if err != nil {
-				errs[i] = fmt.Errorf("run %v/%v/%d: %w", key.Scenario, key.Gap, key.Rep, err)
-				return
-			}
-			outs[i] = RunOutcome{Key: key, Outcome: res.Outcome}
-		}(i, key)
+		}()
 	}
+	for i := range keys {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

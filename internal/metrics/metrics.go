@@ -72,6 +72,15 @@ type Trace struct {
 	Samples []Sample
 }
 
+// NewTrace returns a Trace with room for capacity samples, so recording
+// a run of known length never regrows the backing array.
+func NewTrace(capacity int) *Trace {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Trace{Samples: make([]Sample, 0, capacity)}
+}
+
 // Append records a sample.
 func (tr *Trace) Append(s Sample) { tr.Samples = append(tr.Samples, s) }
 

@@ -27,6 +27,15 @@ func WilsonInterval(k, n int, z float64) (lo, hi float64) {
 	if hi > 1 {
 		hi = 1
 	}
+	// At the extremes (k = 0 or k = n) the bound algebraically equals p
+	// but floating-point rounding can land a few ulps inside it; the
+	// interval must always bracket the observed proportion.
+	if lo > p {
+		lo = p
+	}
+	if hi < p {
+		hi = p
+	}
 	return lo, hi
 }
 

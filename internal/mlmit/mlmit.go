@@ -43,14 +43,20 @@ const OutputDim = 2
 
 // Vector returns the scaled feature vector for the frame.
 func (f Frame) Vector() []float64 {
-	return []float64{
-		f.EgoSpeed / featureScale[0],
-		f.LeadDistance / featureScale[1],
-		f.LaneLineLeft / featureScale[2],
-		f.LaneLineRight / featureScale[3],
-		f.PrevAccel / featureScale[4],
-		f.PrevCurvature / featureScale[5],
-	}
+	v := make([]float64, FeatureDim)
+	f.VectorInto(v)
+	return v
+}
+
+// VectorInto writes the scaled feature vector into dst, which must have
+// length FeatureDim. The allocation-free form of Vector.
+func (f Frame) VectorInto(dst []float64) {
+	dst[0] = f.EgoSpeed / featureScale[0]
+	dst[1] = f.LeadDistance / featureScale[1]
+	dst[2] = f.LaneLineLeft / featureScale[2]
+	dst[3] = f.LaneLineRight / featureScale[3]
+	dst[4] = f.PrevAccel / featureScale[4]
+	dst[5] = f.PrevCurvature / featureScale[5]
 }
 
 // ScaleTarget converts a command into the scaled regression target.
@@ -89,13 +95,24 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Mitigator is a stateful Algorithm 1 instance.
+// Mitigator is a stateful Algorithm 1 instance. It owns preallocated
+// history and inference scratch buffers, so Update performs zero heap
+// allocations in steady state.
 type Mitigator struct {
 	cfg Config
 	net *nn.Network
 
-	history  [][]float64 // last HistorySteps scaled feature vectors
-	s        float64     // accumulated error S(t)
+	// hist is a ring of the last HistorySteps scaled feature vectors
+	// (histRows are reused row views into one flat backing array); seq is
+	// the window reassembled oldest-first for each prediction.
+	histRows [HistorySteps][]float64
+	seq      [HistorySteps][]float64
+	head     int // next ring slot to overwrite
+	count    int // frames recorded, saturating at HistorySteps
+
+	scratch *nn.InferScratch
+
+	s        float64 // accumulated error S(t)
 	recovery bool
 
 	firstRecoveryAt float64
@@ -111,7 +128,36 @@ func New(cfg Config, net *nn.Network) (*Mitigator, error) {
 	if net == nil {
 		return nil, fmt.Errorf("mlmit: network is required")
 	}
-	return &Mitigator{cfg: cfg, net: net, firstRecoveryAt: -1}, nil
+	m := &Mitigator{cfg: cfg, net: net, scratch: net.NewInferScratch(), firstRecoveryAt: -1}
+	flat := make([]float64, HistorySteps*FeatureDim)
+	for i := range m.histRows {
+		m.histRows[i] = flat[i*FeatureDim : (i+1)*FeatureDim]
+	}
+	return m, nil
+}
+
+// Net returns the wrapped network.
+func (m *Mitigator) Net() *nn.Network { return m.net }
+
+// Reset clears the detector state and the input history so the Mitigator
+// can be reused for a new run, keeping the network, the history ring, and
+// the inference scratch buffers. cfg replaces the detector parameters.
+// The scratch's cached transposed weights are refreshed from the network,
+// so a Reset mitigator stays correct even if the network was retrained in
+// place since the last run.
+func (m *Mitigator) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.scratch.Refresh(m.net)
+	m.head = 0
+	m.count = 0
+	m.s = 0
+	m.recovery = false
+	m.firstRecoveryAt = -1
+	m.recoverySteps = 0
+	return nil
 }
 
 // Config returns the detector parameters.
@@ -133,15 +179,21 @@ func (m *Mitigator) RecoverySteps() int { return m.recoverySteps }
 // fault-free sensor input, yOP the OpenPilot controller output. It
 // returns the command to execute and whether the ML output was selected.
 func (m *Mitigator) Update(t float64, frame Frame, yOP vehicle.Command) (vehicle.Command, bool) {
-	m.history = append(m.history, frame.Vector())
-	if len(m.history) > HistorySteps {
-		m.history = m.history[len(m.history)-HistorySteps:]
+	frame.VectorInto(m.histRows[m.head])
+	m.head = (m.head + 1) % HistorySteps
+	if m.count < HistorySteps {
+		m.count++
 	}
-	if len(m.history) < HistorySteps {
+	if m.count < HistorySteps {
 		return yOP, false // not enough history yet
 	}
+	// Assemble the window oldest-first: once the ring is full, the oldest
+	// frame sits at head (the slot about to be overwritten next).
+	for i := range m.seq {
+		m.seq[i] = m.histRows[(m.head+i)%HistorySteps]
+	}
 
-	yML := UnscaleOutput(m.net.Predict(m.history))
+	yML := UnscaleOutput(m.net.PredictInto(m.seq[:], m.scratch))
 	delta := m.delta(yML, yOP)
 
 	// S(t+1) = max(0, S(t) + delta - b), kept non-negative.

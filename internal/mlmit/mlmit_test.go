@@ -166,8 +166,14 @@ func TestRecoveryExitsWhenAgreeing(t *testing.T) {
 		t.Fatal("setup failed: not in recovery")
 	}
 	// Now feed a controller output identical to the ML prediction: the
-	// discrepancy is zero, so recovery must exit and S reset.
-	yML := UnscaleOutput(m.net.Predict(m.history))
+	// discrepancy is zero, so recovery must exit and S reset. Every
+	// history entry is the same constant frame, so the window the next
+	// Update will predict over is 20 copies of its vector.
+	seq := make([][]float64, HistorySteps)
+	for i := range seq {
+		seq[i] = frame.Vector()
+	}
+	yML := UnscaleOutput(m.net.Predict(seq))
 	got, active := m.Update(10, frame, yML)
 	if active || m.InRecovery() {
 		t.Error("recovery should exit when outputs agree")
@@ -177,5 +183,68 @@ func TestRecoveryExitsWhenAgreeing(t *testing.T) {
 	}
 	if got != yML {
 		t.Errorf("exit step should execute yOP (= yML here)")
+	}
+}
+
+// varyingFrame returns a deterministic, step-dependent frame so history
+// windows actually differ across steps.
+func varyingFrame(i int) Frame {
+	return Frame{
+		EgoSpeed:      20 + math.Sin(float64(i)*0.1)*3,
+		LeadDistance:  40 + math.Cos(float64(i)*0.07)*10,
+		LaneLineLeft:  1.8 + math.Sin(float64(i)*0.03)*0.2,
+		LaneLineRight: 1.8 - math.Sin(float64(i)*0.03)*0.2,
+		PrevAccel:     math.Sin(float64(i) * 0.05),
+		PrevCurvature: 0.01 * math.Cos(float64(i)*0.02),
+	}
+}
+
+func TestResetMatchesFresh(t *testing.T) {
+	net := tinyNet(t)
+	cfg := Config{Threshold: 0.5, Bias: 0.1}
+	reused, err := New(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the reused mitigator with one run's worth of state.
+	for i := 0; i < 120; i++ {
+		reused.Update(float64(i)*0.01, varyingFrame(i+31), vehicle.Command{Accel: 2})
+	}
+	if err := reused.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		fr := varyingFrame(i)
+		yOP := vehicle.Command{Accel: 1.5, Curvature: 0.002}
+		t1, a1 := fresh.Update(float64(i)*0.01, fr, yOP)
+		t2, a2 := reused.Update(float64(i)*0.01, fr, yOP)
+		if t1 != t2 || a1 != a2 {
+			t.Fatalf("step %d: fresh (%v,%v) != reused (%v,%v)", i, t1, a1, t2, a2)
+		}
+		if fresh.S() != reused.S() {
+			t.Fatalf("step %d: S fresh %v != reused %v", i, fresh.S(), reused.S())
+		}
+	}
+}
+
+func TestUpdateZeroAllocs(t *testing.T) {
+	m, err := New(DefaultConfig(), tinyNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	yOP := vehicle.Command{Accel: 1}
+	for i := 0; i < 2*HistorySteps; i++ { // warm up past the window fill
+		m.Update(float64(i)*0.01, varyingFrame(i), yOP)
+	}
+	i := 2 * HistorySteps
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.Update(float64(i)*0.01, varyingFrame(i), yOP)
+		i++
+	}); allocs != 0 {
+		t.Errorf("Update allocs/op = %v, want 0", allocs)
 	}
 }

@@ -148,10 +148,40 @@ type Monitor struct {
 
 // New constructs a Monitor.
 func New(cfg Config) (*Monitor, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Monitor{}
+	if err := m.Reset(cfg); err != nil {
 		return nil, err
 	}
-	return &Monitor{cfg: cfg, longUntil: -1, latUntil: -1, firstDetectAt: -1}, nil
+	return m, nil
+}
+
+// Reset clears all detector state for a new run, reusing the residual-
+// window buffers when the window size is unchanged. cfg replaces the
+// thresholds; the result behaves identically to a fresh New(cfg).
+func (m *Monitor) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	// The kinematic check appends one frame past the window before
+	// flushing, so size the buffers for ResidualWindow+1 entries.
+	if cap(m.rdHist) < cfg.ResidualWindow+1 {
+		m.rdHist = make([]float64, 0, cfg.ResidualWindow+1)
+		m.rsHist = make([]float64, 0, cfg.ResidualWindow+1)
+	} else {
+		m.rdHist = m.rdHist[:0]
+		m.rsHist = m.rsHist[:0]
+	}
+	m.havePrev = false
+	m.prevRD = 0
+	m.prevValid = false
+	m.cusum = 0
+	m.latStrikes = 0
+	m.longUntil = -1
+	m.latUntil = -1
+	m.trustedKappa = 0
+	m.firstDetectAt = -1
+	return nil
 }
 
 // Config returns the monitor configuration.

@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the inference-only fast path. Training (Forward/Backward)
+// clones vectors and builds per-timestep caches for backpropagation; the
+// closed-loop simulator calls the network every control cycle and never
+// backpropagates, so the fast path works entirely on caller-owned scratch
+// buffers and performs zero heap allocations in steady state. See
+// DESIGN.md ("Performance") for the scratch-ownership conventions.
+
+// LSTMScratch holds the recurrent state, the pre-activation buffer, and a
+// transposed copy of the layer weights for one LSTM layer during
+// inference. A scratch is owned by one caller and must not be shared
+// across goroutines.
+//
+// The transposed weights turn the per-gate-row dot products (short,
+// serialised by the floating-point add latency chain) into long
+// independent axpy sweeps over the pre-activation vector, which is what
+// makes the fast path fast for the small layer widths the mitigation
+// baseline uses. The copy captures the weights at construction time:
+// create a fresh scratch if the layer is (re)trained afterwards.
+type LSTMScratch struct {
+	h   []float64 // (H) hidden state
+	c   []float64 // (H) cell state
+	z   []float64 // (4H) pre-activations
+	wxT []float64 // (In x 4H) Wx transposed: wxT[j*4H+i] = Wx[i,j]
+	whT []float64 // (H x 4H) Wh transposed
+}
+
+// NewScratch allocates inference scratch sized for the layer, capturing
+// the current weights in transposed layout.
+func (l *LSTM) NewScratch() *LSTMScratch {
+	H4 := 4 * l.HiddenSize
+	s := &LSTMScratch{
+		h:   zeros(l.HiddenSize),
+		c:   zeros(l.HiddenSize),
+		z:   zeros(H4),
+		wxT: zeros(l.InSize * H4),
+		whT: zeros(l.HiddenSize * H4),
+	}
+	s.Refresh(l)
+	return s
+}
+
+// Refresh recopies the layer weights into the scratch's transposed
+// layout. Call it after the layer has been (re)trained to keep an
+// existing scratch usable; NewScratch calls it on construction.
+func (s *LSTMScratch) Refresh(l *LSTM) {
+	H4 := 4 * l.HiddenSize
+	for i := 0; i < H4; i++ {
+		for j := 0; j < l.InSize; j++ {
+			s.wxT[j*H4+i] = l.Wx.Data[i*l.InSize+j]
+		}
+		for j := 0; j < l.HiddenSize; j++ {
+			s.whT[j*H4+i] = l.Wh.Data[i*l.HiddenSize+j]
+		}
+	}
+}
+
+// BeginInfer resets the scratch recurrent state for a new sequence.
+func (l *LSTM) BeginInfer(s *LSTMScratch) {
+	for j := range s.h {
+		s.h[j] = 0
+		s.c[j] = 0
+	}
+}
+
+// axpy computes z += a*v over equal-length slices. Every iteration is
+// independent (no reduction chain), so the CPU can overlap the
+// multiply-adds; this is the inner kernel of the transposed GEMV.
+func axpy(a float64, v, z []float64) {
+	v = v[:len(z)] // bounds-check hint
+	for i := range z {
+		z[i] += a * v[i]
+	}
+}
+
+// axpy2 fuses two axpy sweeps (z += a1*v1 + a2*v2), halving the loads and
+// stores of z and the loop overhead relative to two separate passes.
+func axpy2(a1 float64, v1 []float64, a2 float64, v2, z []float64) {
+	v1 = v1[:len(z)]
+	v2 = v2[:len(z)]
+	for i := range z {
+		z[i] += a1*v1[i] + a2*v2[i]
+	}
+}
+
+// sigmoidT computes the logistic function as 0.5 + 0.5*tanh(x/2).
+// math.Tanh is a rational approximation — no exp call and no divide — so
+// this is measurably faster than 1/(1+exp(-x)) and agrees with it to a
+// few ulps (well inside the fast path's 1e-12 contract).
+func sigmoidT(x float64) float64 { return 0.5 + 0.5*math.Tanh(0.5*x) }
+
+// StepInfer advances the layer by one timestep without allocating. It
+// returns the updated hidden state, which aliases s and stays valid until
+// the next StepInfer on the same scratch. The pre-activations are
+// accumulated input-major over the transposed weights (z += x[j]*WxT[j]),
+// which reassociates the per-gate sums relative to Forward's row-major
+// dot products: results agree to within 1e-12 rather than bit for bit.
+func (l *LSTM) StepInfer(x []float64, s *LSTMScratch) []float64 {
+	if len(x) != l.InSize {
+		panic(fmt.Sprintf("nn: LSTM input dim %d, want %d", len(x), l.InSize))
+	}
+	H := l.HiddenSize
+	H4 := 4 * H
+	z := s.z[:H4]
+	copy(z, l.B)
+	j := 0
+	for ; j+2 <= len(x); j += 2 {
+		axpy2(x[j], s.wxT[j*H4:(j+1)*H4], x[j+1], s.wxT[(j+1)*H4:(j+2)*H4], z)
+	}
+	for ; j < len(x); j++ {
+		axpy(x[j], s.wxT[j*H4:(j+1)*H4], z)
+	}
+	j = 0
+	for ; j+2 <= H; j += 2 {
+		axpy2(s.h[j], s.whT[j*H4:(j+1)*H4], s.h[j+1], s.whT[(j+1)*H4:(j+2)*H4], z)
+	}
+	for ; j < H; j++ {
+		axpy(s.h[j], s.whT[j*H4:(j+1)*H4], z)
+	}
+	for j := 0; j < H; j++ {
+		i := sigmoidT(z[j])
+		f := sigmoidT(z[H+j])
+		g := math.Tanh(z[2*H+j])
+		o := sigmoidT(z[3*H+j])
+		c := f*s.c[j] + i*g
+		s.c[j] = c
+		s.h[j] = o * math.Tanh(c)
+	}
+	return s.h
+}
+
+// Infer runs the layer over a sequence and returns the final hidden
+// state, equal to Forward(seq)[len(seq)-1] to within 1e-12, with no per-
+// timestep allocations and no backprop caches. The returned slice
+// aliases s.
+func (l *LSTM) Infer(seq [][]float64, s *LSTMScratch) []float64 {
+	l.BeginInfer(s)
+	for _, x := range seq {
+		l.StepInfer(x, s)
+	}
+	return s.h
+}
+
+// ForwardInto computes the Dense layer output into out without recording
+// the input for Backward. len(out) must equal OutSize.
+func (d *Dense) ForwardInto(x, out []float64) []float64 {
+	if len(out) != d.OutSize {
+		panic(fmt.Sprintf("nn: Dense output dim %d, want %d", len(out), d.OutSize))
+	}
+	copy(out, d.B)
+	d.W.MulVecAdd(x, out)
+	return out
+}
+
+// InferScratch holds per-layer scratch for allocation-free Network
+// inference. Obtain one from NewInferScratch and reuse it across calls;
+// it is not safe for concurrent use.
+type InferScratch struct {
+	layers []*LSTMScratch
+	out    []float64
+}
+
+// NewInferScratch allocates scratch sized for the network.
+func (n *Network) NewInferScratch() *InferScratch {
+	sc := &InferScratch{
+		layers: make([]*LSTMScratch, len(n.lstms)),
+		out:    zeros(n.head.OutSize),
+	}
+	for i, l := range n.lstms {
+		sc.layers[i] = l.NewScratch()
+	}
+	return sc
+}
+
+// Refresh recopies the network weights into the scratch (see
+// LSTMScratch.Refresh). The scratch must have been created for this
+// network.
+func (sc *InferScratch) Refresh(n *Network) {
+	for i, l := range n.lstms {
+		sc.layers[i].Refresh(l)
+	}
+}
+
+// PredictInto is the allocation-free equivalent of Predict: it streams
+// the sequence through the stacked layers timestep by timestep (layer k
+// at time t depends only on layer k-1 at time t, so no per-timestep
+// hidden sequences are materialised) and evaluates the head on the final
+// hidden state. The result agrees with Predict to within 1e-12 (see
+// dotUnrolled) and aliases sc.out, valid until the next PredictInto on
+// the same scratch.
+func (n *Network) PredictInto(seq [][]float64, sc *InferScratch) []float64 {
+	if len(seq) == 0 {
+		panic("nn: PredictInto on empty sequence")
+	}
+	for i, l := range n.lstms {
+		l.BeginInfer(sc.layers[i])
+	}
+	var h []float64
+	for _, x := range seq {
+		h = x
+		for i, l := range n.lstms {
+			h = l.StepInfer(h, sc.layers[i])
+		}
+	}
+	return n.head.ForwardInto(h, sc.out)
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSeq(rng *rand.Rand, steps, dim int) [][]float64 {
+	seq := make([][]float64, steps)
+	for t := range seq {
+		seq[t] = make([]float64, dim)
+		for j := range seq[t] {
+			seq[t][j] = rng.NormFloat64()
+		}
+	}
+	return seq
+}
+
+func TestLSTMInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][2]int{{3, 5}, {6, 16}, {8, 32}} {
+		l, err := NewLSTM(dims[0], dims[1], rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := l.NewScratch()
+		for _, steps := range []int{1, 2, 20, 50} {
+			seq := randomSeq(rng, steps, dims[0])
+			want := l.Forward(seq)
+			got := l.Infer(seq, s)
+			for j := range got {
+				if math.Abs(got[j]-want[steps-1][j]) > 1e-12 {
+					t.Fatalf("in=%d H=%d T=%d: Infer[%d] = %v, Forward = %v",
+						dims[0], dims[1], steps, j, got[j], want[steps-1][j])
+				}
+			}
+		}
+	}
+}
+
+func TestLSTMInferResetsState(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l, err := NewLSTM(4, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.NewScratch()
+	seq := randomSeq(rng, 10, 4)
+	first := append([]float64(nil), l.Infer(seq, s)...)
+	// A second Infer on the same scratch must start from zero state, not
+	// carry the previous sequence's hidden state forward.
+	second := l.Infer(seq, s)
+	for j := range first {
+		if first[j] != second[j] {
+			t.Fatalf("repeated Infer diverged at %d: %v vs %v", j, first[j], second[j])
+		}
+	}
+}
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := NewNetwork(6, []int{16, 8}, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := net.NewInferScratch()
+	for trial := 0; trial < 5; trial++ {
+		seq := randomSeq(rng, 20, 6)
+		want := net.Predict(seq)
+		got := net.PredictInto(seq, sc)
+		if len(got) != len(want) {
+			t.Fatalf("dim %d, want %d", len(got), len(want))
+		}
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-12 {
+				t.Fatalf("trial %d out[%d] = %v, want %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestInferZeroAllocs(t *testing.T) {
+	net, err := NewNetwork(6, []int{32, 16}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := net.NewInferScratch()
+	seq := randomSeq(rand.New(rand.NewSource(5)), 20, 6)
+	net.PredictInto(seq, sc) // warm up
+	if allocs := testing.AllocsPerRun(100, func() {
+		net.PredictInto(seq, sc)
+	}); allocs != 0 {
+		t.Errorf("PredictInto allocs/op = %v, want 0", allocs)
+	}
+
+	l, err := NewLSTM(6, 32, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.NewScratch()
+	l.Infer(seq, s)
+	if allocs := testing.AllocsPerRun(100, func() {
+		l.Infer(seq, s)
+	}); allocs != 0 {
+		t.Errorf("LSTM.Infer allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestScratchRefreshAfterRetraining(t *testing.T) {
+	net, err := NewNetwork(4, []int{8}, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := net.NewInferScratch()
+	rng := rand.New(rand.NewSource(13))
+	seq := randomSeq(rng, 10, 4)
+
+	// Retrain in place: Adam mutates the weight storage the scratch
+	// captured at construction.
+	opt := NewAdam(net.Params(), 0.05)
+	for i := 0; i < 5; i++ {
+		if _, err := net.TrainBatch([]Sample{{Seq: seq, Target: []float64{1, -1}}}, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sc.Refresh(net)
+	want := net.Predict(seq)
+	got := net.PredictInto(seq, sc)
+	for j := range got {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("after Refresh, out[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}

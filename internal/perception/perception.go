@@ -120,17 +120,41 @@ func (c Config) Validate() error {
 
 // Model is the perception sensor. It is deterministic given its seed.
 type Model struct {
-	cfg    Config
-	rng    *rand.Rand
-	buffer []Output // FIFO implementing the processing latency
+	cfg Config
+	rng *rand.Rand
+
+	// buf is a preallocated ring implementing the processing latency:
+	// count frames starting at head, oldest first. Fixed capacity
+	// LatencySteps, so Perceive never allocates.
+	buf   []Output
+	head  int
+	count int
 }
 
 // New constructs a perception model with the given config and noise seed.
 func New(cfg Config, seed int64) (*Model, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Model{rng: rand.New(rand.NewSource(seed))}
+	if err := m.Reset(cfg, seed); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+	return m, nil
+}
+
+// Reset reinitialises the model for a new run with a fresh noise seed,
+// reusing the latency ring when its size is unchanged. The model behaves
+// identically to a freshly constructed New(cfg, seed).
+func (m *Model) Reset(cfg Config, seed int64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	if len(m.buf) != cfg.LatencySteps {
+		m.buf = make([]Output, cfg.LatencySteps)
+	}
+	m.head = 0
+	m.count = 0
+	m.rng.Seed(seed)
+	return nil
 }
 
 // Config returns the model configuration.
@@ -150,11 +174,15 @@ func (m *Model) Perceive(w *world.World) Output {
 	if m.cfg.LatencySteps == 0 {
 		return fresh
 	}
-	m.buffer = append(m.buffer, fresh)
-	if len(m.buffer) > m.cfg.LatencySteps {
-		m.buffer = m.buffer[1:]
+	// Ring push: overwrite the oldest frame once the FIFO holds
+	// LatencySteps entries, then emit the (new) oldest.
+	if m.count == m.cfg.LatencySteps {
+		m.head = (m.head + 1) % len(m.buf)
+		m.count--
 	}
-	out := m.buffer[0]
+	m.buf[(m.head+m.count)%len(m.buf)] = fresh
+	m.count++
+	out := m.buf[m.head]
 	// Odometry is not subject to the camera pipeline latency.
 	out.EgoSpeed = fresh.EgoSpeed
 	return out

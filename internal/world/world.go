@@ -56,29 +56,43 @@ type Config struct {
 
 // New builds a World.
 func New(cfg Config) (*World, error) {
+	w := &World{}
+	if err := w.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Reset reinitialises the world in place for a new run at time zero,
+// reusing the actors slice. The result is indistinguishable from a fresh
+// New(cfg).
+func (w *World) Reset(cfg Config) error {
 	if cfg.Road == nil {
-		return nil, errors.New("world: Road is required")
+		return errors.New("world: Road is required")
 	}
 	if cfg.Ego == nil || cfg.Ego.Dyn == nil {
-		return nil, errors.New("world: Ego with dynamics is required")
+		return errors.New("world: Ego with dynamics is required")
 	}
 	for i, a := range cfg.Actors {
 		if a == nil || a.Dyn == nil {
-			return nil, fmt.Errorf("world: actor %d missing dynamics", i)
+			return fmt.Errorf("world: actor %d missing dynamics", i)
 		}
 		if a.Ctrl == nil {
-			return nil, fmt.Errorf("world: actor %d (%s) missing controller", i, a.Name)
+			return fmt.Errorf("world: actor %d (%s) missing controller", i, a.Name)
 		}
 	}
 	if cfg.Step == 0 {
 		cfg.Step = DefaultStep
 	}
 	if cfg.Step <= 0 {
-		return nil, fmt.Errorf("world: step %v must be positive", cfg.Step)
+		return fmt.Errorf("world: step %v must be positive", cfg.Step)
 	}
-	actors := make([]*Actor, len(cfg.Actors))
-	copy(actors, cfg.Actors)
-	return &World{road: cfg.Road, ego: cfg.Ego, actors: actors, step: cfg.Step}, nil
+	w.road = cfg.Road
+	w.ego = cfg.Ego
+	w.actors = append(w.actors[:0], cfg.Actors...)
+	w.time = 0
+	w.step = cfg.Step
+	return nil
 }
 
 // Road returns the road geometry.
