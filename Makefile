@@ -1,21 +1,30 @@
 GO ?= go
 
-.PHONY: build test bench clean
+.PHONY: build vet test bench clean
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
 	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
 
 # bench runs the perf-tracking benchmarks (hot-loop step, nn inference,
-# campaign throughput) with allocation reporting and writes the raw
-# test2json stream to BENCH_step.json so future PRs can diff the perf
-# trajectory.
+# campaign throughput, service throughput) with allocation reporting and
+# writes the raw test2json stream to BENCH_step.json so future PRs can
+# diff the perf trajectory. The previous BENCH_step.json is preserved
+# under BENCH_history/ (timestamped) so the trajectory is append-only
+# rather than overwritten each run.
 bench:
+	@if [ -f BENCH_step.json ]; then \
+		mkdir -p BENCH_history; \
+		cp BENCH_step.json BENCH_history/BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json; \
+		echo "backed up previous BENCH_step.json to BENCH_history/"; \
+	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true

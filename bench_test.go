@@ -6,8 +6,10 @@
 package adasim
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"adasim/internal/aebs"
 	"adasim/internal/core"
@@ -21,6 +23,7 @@ import (
 	"adasim/internal/perception"
 	"adasim/internal/safety"
 	"adasim/internal/scenario"
+	"adasim/internal/service"
 	"adasim/internal/vehicle"
 )
 
@@ -314,6 +317,64 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(runs)), "runs/op")
 	}
+}
+
+// BenchmarkServiceThroughput measures the campaign service end to end at
+// saturation: jobs flow through the dispatcher's bounded queue and
+// sharded worker pool (long-lived platforms, Reset per run). The "cold"
+// variant gives every job a distinct base seed so nothing caches; the
+// "warm" variant resubmits one spec so every run is served from the
+// content-addressed result cache. The cold/warm ns/op gap is the cache's
+// whole value proposition.
+func BenchmarkServiceThroughput(b *testing.B) {
+	spec := service.JobSpec{
+		Reps:          1,
+		Steps:         600,
+		Fault:         fi.DefaultParams(fi.TargetMixed),
+		Interventions: core.InterventionSet{Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent},
+	}
+	runBench := func(b *testing.B, specFor func(i int) service.JobSpec) {
+		d, err := service.NewDispatcher(service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := d.Drain(ctx); err != nil {
+				b.Error(err)
+			}
+		}()
+		b.ResetTimer()
+		var runs, hits int
+		for i := 0; i < b.N; i++ {
+			view, err := d.Submit(specFor(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-d.Done(view.ID)
+			view, _ = d.Job(view.ID)
+			if view.Status != service.StatusDone {
+				b.Fatalf("job %s: %s (%s)", view.ID, view.Status, view.Error)
+			}
+			runs += view.TotalRuns
+			hits += view.CacheHits
+		}
+		b.ReportMetric(float64(runs)/float64(b.N), "runs/job")
+		b.ReportMetric(float64(hits)/float64(b.N), "cachehits/job")
+	}
+	b.Run("cold", func(b *testing.B) {
+		runBench(b, func(i int) service.JobSpec {
+			s := spec
+			s.BaseSeed = int64(i + 1) // a fresh campaign every job
+			return s
+		})
+	})
+	b.Run("warm", func(b *testing.B) {
+		warm := spec
+		warm.BaseSeed = 1
+		runBench(b, func(i int) service.JobSpec { return warm })
+	})
 }
 
 // BenchmarkPerception measures the perception sensor alone.

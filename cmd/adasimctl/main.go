@@ -1,0 +1,297 @@
+// Command adasimctl is the CLI client for the adasimd campaign service.
+//
+// Usage:
+//
+//	adasimctl [-addr http://127.0.0.1:8080] <command> [flags]
+//
+// Commands:
+//
+//	submit     submit a job (from -spec JSON or from flags); -wait blocks
+//	status     show a job's status and progress
+//	results    fetch a finished job's results
+//	wait       block until a job reaches a terminal state
+//	scenarios  list the scenario catalogue
+//	health     show daemon health, pool, and cache counters
+//
+// Examples:
+//
+//	adasimctl submit -fault rd -driver -check -aeb indep -reps 3 -wait
+//	adasimctl submit -spec job.json
+//	adasimctl results -id j000001-1a2b3c4d
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/scenario"
+	"adasim/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adasimctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|scenarios|health> [flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		return fmt.Errorf("missing command")
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(c, args)
+	case "status":
+		return cmdJobGet(c, args, "")
+	case "results":
+		return cmdJobGet(c, args, "/results")
+	case "wait":
+		return cmdWait(c, args)
+	case "scenarios":
+		return c.getPrint("/v1/scenarios")
+	case "health":
+		return c.getPrint("/healthz")
+	default:
+		flag.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdSubmit(c *client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		specPath  = fs.String("spec", "", "job spec JSON file ('-' = stdin); overrides the spec flags")
+		scenarios = fs.String("scenarios", "", "comma-separated scenario ids (default: all)")
+		gaps      = fs.String("gaps", "", "comma-separated initial gaps in metres (default: 60,230)")
+		reps      = fs.Int("reps", 1, "repetitions per configuration")
+		steps     = fs.Int("steps", 0, "steps per run (0 = paper default)")
+		seed      = fs.Int64("seed", 1, "base seed")
+		salt      = fs.Int64("salt", 0, "campaign salt")
+		fault     = fs.String("fault", "none", "fault target: none|rd|curv|mixed")
+		driver    = fs.Bool("driver", false, "enable the driver reaction model")
+		check     = fs.Bool("check", false, "enable the firmware safety checker")
+		aeb       = fs.String("aeb", "off", "AEBS source: off|comp|indep")
+		monitor   = fs.Bool("monitor", false, "enable the runtime anomaly monitor")
+		wait      = fs.Bool("wait", false, "wait for completion and print the results")
+	)
+	fs.Parse(args)
+
+	var spec service.JobSpec
+	if *specPath != "" {
+		b, err := readFileOrStdin(*specPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	} else {
+		var err error
+		if spec, err = specFromFlags(*scenarios, *gaps, *reps, *steps, *seed, *salt,
+			*fault, *driver, *check, *aeb, *monitor); err != nil {
+			return err
+		}
+	}
+
+	var view service.JobView
+	if err := c.postJSON("/v1/jobs", spec, &view); err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(view)
+	}
+	final, err := c.waitJob(view.ID)
+	if err != nil {
+		return err
+	}
+	if final.Status != service.StatusDone {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.Status, final.Error)
+	}
+	return c.getPrint("/v1/jobs/" + final.ID + "/results")
+}
+
+func specFromFlags(scenarioArg, gapArg string, reps, steps int, seed, salt int64,
+	fault string, driver, check bool, aeb string, monitor bool) (service.JobSpec, error) {
+	spec := service.JobSpec{Reps: reps, Steps: steps, BaseSeed: seed, Salt: salt}
+
+	if scenarioArg != "" {
+		for _, part := range strings.Split(scenarioArg, ",") {
+			id, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSpace(part), "S"))
+			if err != nil {
+				return spec, fmt.Errorf("bad scenario %q: %w", part, err)
+			}
+			spec.Scenarios = append(spec.Scenarios, scenario.ID(id))
+		}
+	}
+	if gapArg != "" {
+		for _, part := range strings.Split(gapArg, ",") {
+			gap, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad gap %q: %w", part, err)
+			}
+			spec.Gaps = append(spec.Gaps, gap)
+		}
+	}
+	switch fault {
+	case "none", "":
+	case "rd":
+		spec.Fault = fi.DefaultParams(fi.TargetRelDistance)
+	case "curv":
+		spec.Fault = fi.DefaultParams(fi.TargetCurvature)
+	case "mixed":
+		spec.Fault = fi.DefaultParams(fi.TargetMixed)
+	default:
+		return spec, fmt.Errorf("unknown fault %q (want none|rd|curv|mixed)", fault)
+	}
+	spec.Interventions = core.InterventionSet{Driver: driver, SafetyCheck: check, Monitor: monitor}
+	switch aeb {
+	case "off", "":
+	case "comp":
+		spec.Interventions.AEB = aebs.SourceCompromised
+	case "indep":
+		spec.Interventions.AEB = aebs.SourceIndependent
+	default:
+		return spec, fmt.Errorf("unknown aeb source %q (want off|comp|indep)", aeb)
+	}
+	return spec, nil
+}
+
+func cmdJobGet(c *client, args []string, suffix string) error {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	id := fs.String("id", "", "job id")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	return c.getPrint("/v1/jobs/" + *id + suffix)
+}
+
+func cmdWait(c *client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	id := fs.String("id", "", "job id")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	view, err := c.waitJob(*id)
+	if err != nil {
+		return err
+	}
+	return printJSON(view)
+}
+
+// client is a minimal JSON-over-HTTP helper.
+type client struct {
+	base string
+	http http.Client
+}
+
+func (c *client) waitJob(id string) (service.JobView, error) {
+	for {
+		var view service.JobView
+		if err := c.getJSON("/v1/jobs/"+id, &view); err != nil {
+			return view, err
+		}
+		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
+			return view, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (c *client) postJSON(path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// getPrint fetches path and prints the raw response body, preserving the
+// server's byte-exact encoding.
+func (c *client) getPrint(path string) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}
+
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func readFileOrStdin(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

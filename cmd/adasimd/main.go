@@ -1,0 +1,90 @@
+// Command adasimd is the campaign service daemon: it serves the
+// fault-injection campaign engine over HTTP/JSON (see internal/service
+// for the API) with a bounded job queue, a sharded pool of long-lived
+// simulation platforms, and a content-addressed result cache.
+//
+// Examples:
+//
+//	adasimd                                  # :8080, GOMAXPROCS workers
+//	adasimd -addr :9090 -workers 8 -queue 128
+//	adasimd -cache-dir /var/cache/adasim     # persistent result store
+//
+// SIGINT/SIGTERM triggers a graceful drain: submissions are rejected
+// with 503, queued and running jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adasim/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adasimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker shards, each owning one platform (0 = GOMAXPROCS)")
+		queueSize    = flag.Int("queue", 64, "bounded job queue capacity")
+		cacheEntries = flag.Int("cache-entries", 4096, "in-memory result cache entries")
+		cacheDir     = flag.String("cache-dir", "", "optional on-disk result store directory")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to finish jobs on shutdown")
+	)
+	flag.Parse()
+
+	d, err := service.NewDispatcher(service.Config{
+		Workers:      *workers,
+		QueueSize:    *queueSize,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(d)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("adasimd: listening on %s (workers=%d queue=%d cache=%d dir=%q)",
+			*addr, d.Workers(), *queueSize, *cacheEntries, *cacheDir)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("adasimd: draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := d.Drain(drainCtx); err != nil {
+		// Shut the listener down regardless; report the drain failure.
+		srv.Shutdown(drainCtx)
+		return err
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	log.Printf("adasimd: drained, bye")
+	return nil
+}

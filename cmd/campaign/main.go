@@ -45,6 +45,18 @@ func run() error {
 	cfg.Reps = *reps
 	cfg.BaseSeed = *seed
 
+	// Validate the flag combination up front: a campaign is minutes of
+	// compute, so a typo must fail here, not be silently ignored mid-run.
+	if *reps < 1 {
+		return fmt.Errorf("-reps must be >= 1, got %d", *reps)
+	}
+	if !*withML && *mlWeights != "" {
+		return fmt.Errorf("-mlweights given without -ml; add -ml to include the ML baseline row")
+	}
+	if *withML && *mlWeights == "" {
+		return fmt.Errorf("-ml requires -mlweights (train weights first with cmd/mltrain)")
+	}
+
 	var mlNet *nn.Network
 	if *withML {
 		var err error
@@ -55,9 +67,10 @@ func run() error {
 	}
 	rows := experiments.TableVIRows(mlNet)
 	if *rowsArg != "" {
-		rows = filterRows(rows, *rowsArg)
-		if len(rows) == 0 {
-			return fmt.Errorf("no rows match %q", *rowsArg)
+		var err error
+		rows, err = filterRows(rows, *rowsArg)
+		if err != nil {
+			return err
 		}
 	}
 
@@ -89,10 +102,30 @@ func run() error {
 	return nil
 }
 
-func filterRows(rows []experiments.InterventionRow, arg string) []experiments.InterventionRow {
+// filterRows keeps the rows named in the comma-separated arg. An unknown
+// label is an error listing the valid ones, not a silently skipped row.
+func filterRows(rows []experiments.InterventionRow, arg string) ([]experiments.InterventionRow, error) {
+	known := make(map[string]bool, len(rows))
+	var labels []string
+	for _, r := range rows {
+		known[r.Label] = true
+		labels = append(labels, r.Label)
+	}
 	wanted := map[string]bool{}
 	for _, p := range strings.Split(arg, ",") {
-		wanted[strings.TrimSpace(p)] = true
+		label := strings.TrimSpace(p)
+		if label == "" {
+			continue
+		}
+		if !known[label] {
+			return nil, fmt.Errorf("unknown row %q; valid rows: %s",
+				label, strings.Join(labels, ", "))
+		}
+		wanted[label] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("-rows %q names no rows; valid rows: %s",
+			arg, strings.Join(labels, ", "))
 	}
 	var out []experiments.InterventionRow
 	for _, r := range rows {
@@ -100,19 +133,14 @@ func filterRows(rows []experiments.InterventionRow, arg string) []experiments.In
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func loadNet(path string) (*nn.Network, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return nn.LoadNetwork(f)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	fmt.Println("training the ML baseline...")
-	net, _, err := experiments.TrainBaseline(experiments.DefaultTrainingConfig())
-	return net, err
+	defer f.Close()
+	return nn.LoadNetwork(f)
 }

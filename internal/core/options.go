@@ -38,31 +38,34 @@ const DefaultPatchStart = 230.0
 const DefaultPatchLength = 6.0
 
 // InterventionSet selects which safety interventions are active,
-// mirroring the configuration columns of Table VI.
+// mirroring the configuration columns of Table VI. The json tags define
+// the stable wire format used by campaign-service job specs; MLNet is
+// deliberately excluded (trained weights do not travel in a job spec —
+// the service rejects ML jobs instead).
 type InterventionSet struct {
 	// Driver enables the human-driver reaction simulator.
-	Driver bool
+	Driver bool `json:"driver,omitempty"`
 	// DriverConfig overrides the driver parameters (nil = defaults).
-	DriverConfig *driver.Config
+	DriverConfig *driver.Config `json:"driver_config,omitempty"`
 	// SafetyCheck enables the firmware (PANDA-style) safety checker.
-	SafetyCheck bool
+	SafetyCheck bool `json:"safety_check,omitempty"`
 	// AEB selects the AEBS input source; aebs.SourceDisabled (or zero)
 	// disables the AEBS.
-	AEB aebs.InputSource
+	AEB aebs.InputSource `json:"aeb,omitempty"`
 	// ML enables the ML-based mitigation baseline; MLNet must be a
 	// trained network with mlmit dimensions.
-	ML    bool
-	MLNet *nn.Network
+	ML    bool        `json:"ml,omitempty"`
+	MLNet *nn.Network `json:"-"`
 	// MLConfig overrides the Algorithm 1 parameters (nil = defaults).
-	MLConfig *mlmit.Config
+	MLConfig *mlmit.Config `json:"ml_config,omitempty"`
 	// Monitor enables the rule-based runtime anomaly monitor (an
 	// extension beyond the paper's intervention set).
-	Monitor bool
+	Monitor bool `json:"monitor,omitempty"`
 	// MonitorConfig overrides the monitor thresholds (nil = defaults).
-	MonitorConfig *monitor.Config
+	MonitorConfig *monitor.Config `json:"monitor_config,omitempty"`
 	// DriverPriorityOverAEB inverts the paper's priority hierarchy so
 	// the driver overrides the AEB (ablation of Observation 4).
-	DriverPriorityOverAEB bool
+	DriverPriorityOverAEB bool `json:"driver_priority_over_aeb,omitempty"`
 }
 
 // Label returns a short description matching the Table VI row labels.

@@ -5,10 +5,8 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"adasim/internal/core"
 	"adasim/internal/fi"
@@ -49,17 +47,20 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// RunKey identifies one run within a campaign.
+// RunKey identifies one run within a campaign. The json tags define the
+// stable wire format used by campaign-service results.
 type RunKey struct {
-	Scenario scenario.ID
-	Gap      float64
-	Rep      int
+	Scenario scenario.ID `json:"scenario"`
+	Gap      float64     `json:"gap"`
+	Rep      int         `json:"rep"`
 }
 
-// seedFor derives a deterministic per-run seed. The gap is hashed via its
+// SeedFor derives a deterministic per-run seed. The gap is hashed via its
 // IEEE-754 bit pattern: truncating it to int64 collided fractional gaps
-// (1.25 and 1.75 derived identical seeds).
-func seedFor(base int64, key RunKey, salt int64) int64 {
+// (1.25 and 1.75 derived identical seeds). It is exported so the campaign
+// service derives the exact seeds RunMatrix would, keeping cached and
+// freshly executed runs interchangeable.
+func SeedFor(base int64, key RunKey, salt int64) int64 {
 	h := base
 	h = h*1000003 + int64(key.Scenario)
 	h = h*1000003 + int64(math.Float64bits(key.Gap))
@@ -73,8 +74,8 @@ func seedFor(base int64, key RunKey, salt int64) int64 {
 
 // RunOutcome pairs a run key with its outcome.
 type RunOutcome struct {
-	Key     RunKey
-	Outcome metrics.Outcome
+	Key     RunKey          `json:"key"`
+	Outcome metrics.Outcome `json:"outcome"`
 }
 
 // RunMatrix executes scenarios x gaps x reps runs of the given fault and
@@ -90,62 +91,22 @@ type RunOutcome struct {
 // which worker executes which run.
 func RunMatrix(cfg Config, fault fi.Params, iv core.InterventionSet, salt int64) ([]RunOutcome, error) {
 	cfg = cfg.normalized()
-	var keys []RunKey
-	for _, id := range scenario.All() {
-		for _, gap := range scenario.InitialGaps() {
-			for rep := 0; rep < cfg.Reps; rep++ {
-				keys = append(keys, RunKey{Scenario: id, Gap: gap, Rep: rep})
-			}
+	keys := Keys(scenario.All(), scenario.InitialGaps(), cfg.Reps)
+	reqs := make([]RunRequest, len(keys))
+	for i, key := range keys {
+		opts := core.Options{
+			Scenario:      scenario.DefaultSpec(key.Scenario, key.Gap),
+			Fault:         fault,
+			Interventions: iv,
+			Seed:          SeedFor(cfg.BaseSeed, key, salt),
+			Steps:         cfg.Steps,
 		}
-	}
-	outs := make([]RunOutcome, len(keys))
-	errs := make([]error, len(keys))
-
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var p *core.Platform
-			for i := range idx {
-				key := keys[i]
-				opts := core.Options{
-					Scenario:      scenario.DefaultSpec(key.Scenario, key.Gap),
-					Fault:         fault,
-					Interventions: iv,
-					Seed:          seedFor(cfg.BaseSeed, key, salt),
-					Steps:         cfg.Steps,
-				}
-				if cfg.Modify != nil {
-					cfg.Modify(&opts)
-				}
-				var err error
-				if p == nil {
-					p, err = core.NewPlatform(opts)
-				} else if err = p.Reset(opts, opts.Seed); err != nil {
-					p = nil // a failed Reset leaves the platform unusable
-				}
-				if err != nil {
-					errs[i] = fmt.Errorf("run %v/%v/%d: %w", key.Scenario, key.Gap, key.Rep, err)
-					continue
-				}
-				res := p.Run()
-				outs[i] = RunOutcome{Key: key, Outcome: res.Outcome}
-			}
-		}()
-	}
-	for i := range keys {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if cfg.Modify != nil {
+			cfg.Modify(&opts)
 		}
+		reqs[i] = RunRequest{Key: key, Opts: opts}
 	}
-	return outs, nil
+	return ExecuteRuns(cfg.Parallelism, reqs, nil)
 }
 
 // Outcomes strips run keys.

@@ -14,15 +14,15 @@ import (
 func TestSeedForFractionalGaps(t *testing.T) {
 	a := RunKey{Scenario: scenario.S1, Gap: 1.25, Rep: 0}
 	b := RunKey{Scenario: scenario.S1, Gap: 1.75, Rep: 0}
-	if seedFor(1, a, 0) == seedFor(1, b, 0) {
+	if SeedFor(1, a, 0) == SeedFor(1, b, 0) {
 		t.Error("fractional gaps 1.25 and 1.75 derive identical seeds")
 	}
 	// Still deterministic for equal inputs.
-	if seedFor(1, a, 0) != seedFor(1, a, 0) {
+	if SeedFor(1, a, 0) != SeedFor(1, a, 0) {
 		t.Error("seedFor is not deterministic")
 	}
 	// And never negative (used directly as a rand source seed).
-	if s := seedFor(-3, b, 17); s < 0 {
+	if s := SeedFor(-3, b, 17); s < 0 {
 		t.Errorf("seed %d is negative", s)
 	}
 }
@@ -54,7 +54,7 @@ func TestRunMatrixMatchesFreshRuns(t *testing.T) {
 					Scenario:      scenario.DefaultSpec(id, gap),
 					Fault:         fault,
 					Interventions: iv,
-					Seed:          seedFor(cfg.BaseSeed, key, salt),
+					Seed:          SeedFor(cfg.BaseSeed, key, salt),
 					Steps:         cfg.Steps,
 				})
 				if err != nil {

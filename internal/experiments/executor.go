@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adasim/internal/core"
+	"adasim/internal/scenario"
+)
+
+// Keys enumerates the scenarios x gaps x reps run matrix in the canonical
+// campaign order (scenario-major, then gap, then rep). It is the shared
+// enumeration used by RunMatrix and by campaign-service job plans, so the
+// result ordering of a job never depends on who executes it.
+func Keys(scenarios []scenario.ID, gaps []float64, reps int) []RunKey {
+	keys := make([]RunKey, 0, len(scenarios)*len(gaps)*reps)
+	for _, id := range scenarios {
+		for _, gap := range gaps {
+			for rep := 0; rep < reps; rep++ {
+				keys = append(keys, RunKey{Scenario: id, Gap: gap, Rep: rep})
+			}
+		}
+	}
+	return keys
+}
+
+// Runner executes closed-loop runs on one long-lived core.Platform,
+// resetting it between runs so the road map, perception/monitor buffers,
+// and ML inference scratch are built once per Runner instead of once per
+// run. core.Platform.Reset guarantees bit-identical trajectories versus a
+// fresh platform, so a run's outcome never depends on which Runner (or
+// how warm a Runner) executed it. A Runner is not safe for concurrent
+// use; give each worker goroutine its own.
+type Runner struct {
+	p *core.Platform
+}
+
+// Do executes one run to completion, reusing the Runner's platform.
+func (r *Runner) Do(opts core.Options) (*core.Result, error) {
+	if r.p == nil {
+		p, err := core.NewPlatform(opts)
+		if err != nil {
+			return nil, err
+		}
+		r.p = p
+	} else if err := r.p.Reset(opts, opts.Seed); err != nil {
+		r.p = nil // a failed Reset leaves the platform unusable
+		return nil, err
+	}
+	return r.p.Run(), nil
+}
+
+// RunRequest is one unit of executable campaign work: a run key plus the
+// fully resolved options (including the derived seed).
+type RunRequest struct {
+	Key  RunKey
+	Opts core.Options
+}
+
+// ExecuteRuns fans the requests out over parallelism worker goroutines
+// (GOMAXPROCS when <= 0), each owning one Runner. Results land at the
+// index of their request, so the output order is deterministic and
+// independent of the worker count. onDone, when non-nil, is invoked once
+// per completed run from the worker goroutines (callers use it for
+// progress accounting; it must be safe for concurrent use). The first
+// run error aborts the batch result, but every request still executes.
+func ExecuteRuns(parallelism int, reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]RunOutcome, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	outs := make([]RunOutcome, len(reqs))
+	errs := make([]error, len(reqs))
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var r Runner
+			for i := range idx {
+				req := reqs[i]
+				res, err := r.Do(req.Opts)
+				if err != nil {
+					errs[i] = fmt.Errorf("run %v/%v/%d: %w",
+						req.Key.Scenario, req.Key.Gap, req.Key.Rep, err)
+					continue
+				}
+				outs[i] = RunOutcome{Key: req.Key, Outcome: res.Outcome}
+				if onDone != nil {
+					onDone(i, outs[i])
+				}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}

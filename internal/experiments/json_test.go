@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"adasim/internal/metrics"
+	"adasim/internal/scenario"
+)
+
+func TestRunOutcomeJSONRoundTrip(t *testing.T) {
+	ro := RunOutcome{
+		Key: RunKey{Scenario: scenario.S3, Gap: 230, Rep: 4},
+		Outcome: func() metrics.Outcome {
+			o := metrics.NewOutcome() // carries the +Inf minima sentinels
+			o.Accident = metrics.AccidentA2
+			o.AccidentAt = 31.25
+			o.Duration = 31.25
+			o.Steps = 3125
+			return o
+		}(),
+	}
+	b, err := json.Marshal(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunOutcome
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if !reflect.DeepEqual(ro, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, ro)
+	}
+
+	// The key's wire names are part of the service API.
+	var fields map[string]any
+	if err := json.Unmarshal(b, &fields); err != nil {
+		t.Fatal(err)
+	}
+	key, ok := fields["key"].(map[string]any)
+	if !ok {
+		t.Fatalf("no key object in %s", b)
+	}
+	for _, name := range []string{"scenario", "gap", "rep"} {
+		if _, ok := key[name]; !ok {
+			t.Errorf("run key wire format missing %q: %s", name, b)
+		}
+	}
+}
+
+func TestConfigNormalizedDefaults(t *testing.T) {
+	n := Config{}.normalized()
+	if n.Reps != 10 {
+		t.Errorf("Reps = %d, want the paper's 10", n.Reps)
+	}
+	if n.Parallelism != runtime.GOMAXPROCS(0) {
+		t.Errorf("Parallelism = %d, want GOMAXPROCS", n.Parallelism)
+	}
+	// Explicit values survive normalization.
+	c := Config{Reps: 3, Parallelism: 2, Steps: 500, BaseSeed: 9}.normalized()
+	if c.Reps != 3 || c.Parallelism != 2 || c.Steps != 500 || c.BaseSeed != 9 {
+		t.Errorf("normalized clobbered explicit values: %+v", c)
+	}
+	// Negative parallelism is as unusable as zero.
+	if c := (Config{Parallelism: -4}).normalized(); c.Parallelism != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative Parallelism normalized to %d", c.Parallelism)
+	}
+}
+
+func TestKeysEnumeration(t *testing.T) {
+	keys := Keys([]scenario.ID{scenario.S1, scenario.S2}, []float64{60, 230}, 2)
+	if len(keys) != 8 {
+		t.Fatalf("len = %d, want 8", len(keys))
+	}
+	// Scenario-major, then gap, then rep: the canonical campaign order.
+	want := RunKey{Scenario: scenario.S1, Gap: 60, Rep: 0}
+	if keys[0] != want {
+		t.Errorf("keys[0] = %+v, want %+v", keys[0], want)
+	}
+	want = RunKey{Scenario: scenario.S1, Gap: 60, Rep: 1}
+	if keys[1] != want {
+		t.Errorf("keys[1] = %+v, want %+v", keys[1], want)
+	}
+	want = RunKey{Scenario: scenario.S2, Gap: 230, Rep: 1}
+	if keys[7] != want {
+		t.Errorf("keys[7] = %+v, want %+v", keys[7], want)
+	}
+}

@@ -56,32 +56,33 @@ func Targets() []Target {
 // the (true) predicted distance is below Below, Offset metres are added to
 // the prediction, making the lead appear farther than it is.
 type DistanceTier struct {
-	Below  float64 // trigger: RD < Below (m)
-	Offset float64 // injected offset (m)
+	Below  float64 `json:"below"`  // trigger: RD < Below (m)
+	Offset float64 `json:"offset"` // injected offset (m)
 }
 
-// Params are the fault-injection parameters (Table III).
+// Params are the fault-injection parameters (Table III). The json tags
+// define the stable wire format used by job specs and the result cache.
 type Params struct {
-	Target Target
+	Target Target `json:"target"`
 	// DistanceTiers is the RD attack ladder. Tiers are evaluated from
 	// the smallest Below upward; the first matching tier applies.
 	// The paper's values: +38 m at RD<20, +15 m at RD<25, +10 m at RD<80.
-	DistanceTiers []DistanceTier
+	DistanceTiers []DistanceTier `json:"distance_tiers,omitempty"`
 	// CurvatureOffset is the curvature perturbation injected while the
 	// ALC attack is active (1/m). The paper reports a 3 % output
 	// deviation producing up to a 10-degree steering adjustment; the
 	// default is calibrated to that steering-equivalent envelope.
-	CurvatureOffset float64
+	CurvatureOffset float64 `json:"curvature_offset,omitempty"`
 	// CurvatureDuration holds the ALC fault active for this long after
 	// the ego first drives over the patch (s). The patch itself is only
 	// a few metres long; the perturbation persists in the model state,
 	// as reported in the dirty-road attack the paper adopts.
-	CurvatureDuration float64
+	CurvatureDuration float64 `json:"curvature_duration,omitempty"`
 	// CurvatureRamp is the time (s) over which the injected curvature
 	// deviation grows to its full value, modelling the gradual build-up
 	// of the dirty-road patch effect as more of the patch enters the
 	// camera view.
-	CurvatureRamp float64
+	CurvatureRamp float64 `json:"curvature_ramp,omitempty"`
 }
 
 // DefaultParams returns the paper's Table III parameters for the target.

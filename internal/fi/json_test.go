@@ -1,0 +1,41 @@
+package fi
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	for _, target := range []Target{TargetNone, TargetRelDistance, TargetCurvature, TargetMixed} {
+		p := DefaultParams(target)
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", target, err)
+		}
+		var back Params
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%v: unmarshal %s: %v", target, b, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", target, back, p)
+		}
+	}
+}
+
+func TestParamsWireNames(t *testing.T) {
+	b, err := json.Marshal(DefaultParams(TargetMixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(b, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"target", "distance_tiers", "curvature_offset",
+		"curvature_duration", "curvature_ramp"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("wire format missing %q: %s", key, b)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// filledOutcome exercises every field, including the sentinel-bearing
+// ones, with distinct values.
+func filledOutcome() Outcome {
+	return Outcome{
+		Accident:          AccidentA1,
+		AccidentAt:        12.5,
+		HazardH1:          true,
+		H1At:              10.25,
+		HazardH2:          false,
+		H2At:              -1,
+		FaultFirstAt:      5.5,
+		FCWAt:             6.25,
+		AEBBrakeAt:        7.75,
+		DriverBrakeAt:     -1,
+		DriverSteerAt:     -1,
+		MLRecoveryAt:      -1,
+		MonitorAt:         8.125,
+		FollowingDistance: 42.5,
+		HardestBrake:      0.95,
+		MinTTC:            1.375,
+		MinTFCW:           2.25,
+		MinLaneLineDist:   0.5,
+		Duration:          12.5,
+		Steps:             1250,
+	}
+}
+
+func TestOutcomeRoundTrip(t *testing.T) {
+	for name, o := range map[string]Outcome{
+		"filled":   filledOutcome(),
+		"sentinel": NewOutcome(), // MinTTC etc. are +Inf here
+		"zero":     {},
+	} {
+		b, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Outcome
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", name, b, err)
+		}
+		if !reflect.DeepEqual(o, back) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", name, back, o)
+		}
+	}
+}
+
+func TestOutcomeInfEncoding(t *testing.T) {
+	o := NewOutcome()
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatalf("marshalling an outcome with +Inf minima: %v", err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(b, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"min_ttc", "min_tfcw", "min_lane_line_dist"} {
+		if fields[key] != "+Inf" {
+			t.Errorf("%s = %v, want the string \"+Inf\"", key, fields[key])
+		}
+	}
+	var back Outcome
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.MinTTC, 1) {
+		t.Errorf("MinTTC did not round-trip +Inf: %v", back.MinTTC)
+	}
+}
+
+// TestOutcomeGolden pins the wire format: a change here is an API break
+// for the campaign service and its on-disk result store. Regenerate
+// deliberately with -update.
+func TestOutcomeGolden(t *testing.T) {
+	var buf []byte
+	for _, o := range []Outcome{filledOutcome(), NewOutcome()} {
+		b, err := json.MarshalIndent(o, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	path := filepath.Join("testdata", "outcome.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if string(buf) != string(want) {
+		t.Errorf("outcome wire format drifted:\n got:\n%s\nwant:\n%s", buf, want)
+	}
+}

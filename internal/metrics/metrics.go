@@ -146,20 +146,21 @@ func Mean(xs []float64) float64 {
 }
 
 // Aggregate summarises a set of run outcomes into the Table VI style
-// statistics.
+// statistics. The json tags define the stable wire format used by the
+// campaign service's results endpoint.
 type Aggregate struct {
-	Runs      int
-	A1Rate    float64 // fraction of runs ending in A1
-	A2Rate    float64 // fraction of runs ending in A2
-	Prevented float64 // fraction with no accident
+	Runs      int     `json:"runs"`
+	A1Rate    float64 `json:"a1_rate"`   // fraction of runs ending in A1
+	A2Rate    float64 `json:"a2_rate"`   // fraction of runs ending in A2
+	Prevented float64 `json:"prevented"` // fraction with no accident
 
-	AvgAEBTime         float64 // mean AEB mitigation time (s)
-	AvgDriverBrakeTime float64
-	AvgDriverSteerTime float64
+	AvgAEBTime         float64 `json:"avg_aeb_time"` // mean AEB mitigation time (s)
+	AvgDriverBrakeTime float64 `json:"avg_driver_brake_time"`
+	AvgDriverSteerTime float64 `json:"avg_driver_steer_time"`
 
-	AEBTriggerRate         float64
-	DriverBrakeTriggerRate float64
-	DriverSteerTriggerRate float64
+	AEBTriggerRate         float64 `json:"aeb_trigger_rate"`
+	DriverBrakeTriggerRate float64 `json:"driver_brake_trigger_rate"`
+	DriverSteerTriggerRate float64 `json:"driver_steer_trigger_rate"`
 }
 
 // Aggregate computes campaign statistics from outcomes.

@@ -53,17 +53,18 @@ func (id ID) Description() string {
 	}
 }
 
-// Spec is a fully parameterised scenario instance.
+// Spec is a fully parameterised scenario instance. The json tags define
+// the stable wire format used by the campaign service.
 type Spec struct {
-	ID ID
+	ID ID `json:"id"`
 	// EgoSpeed is the ego's initial and cruise speed (m/s). The paper
 	// uses 50 mph.
-	EgoSpeed float64
+	EgoSpeed float64 `json:"ego_speed"`
 	// InitialGap is the starting bumper-to-bumper distance to the
 	// (closest) lead vehicle (m): 60 or 230 in the paper.
-	InitialGap float64
+	InitialGap float64 `json:"initial_gap"`
 	// SpeedLimit is the posted limit used by the driver model (m/s).
-	SpeedLimit float64
+	SpeedLimit float64 `json:"speed_limit"`
 }
 
 // DefaultSpec returns the paper-parameterised spec for a scenario at one

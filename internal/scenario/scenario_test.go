@@ -52,14 +52,26 @@ func TestDefaultSpec(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	bad := []Spec{
-		{ID: 0, EgoSpeed: 20, InitialGap: 60},
-		{ID: S1, EgoSpeed: 0, InitialGap: 60},
-		{ID: S1, EgoSpeed: 20, InitialGap: 0},
+	bad := map[string]Spec{
+		"zero id":        {ID: 0, EgoSpeed: 20, InitialGap: 60},
+		"negative id":    {ID: -1, EgoSpeed: 20, InitialGap: 60},
+		"id above range": {ID: S6 + 1, EgoSpeed: 20, InitialGap: 60},
+		"id far above":   {ID: 99, EgoSpeed: 20, InitialGap: 60},
+		"zero speed":     {ID: S1, EgoSpeed: 0, InitialGap: 60},
+		"negative speed": {ID: S1, EgoSpeed: -5, InitialGap: 60},
+		"zero gap":       {ID: S1, EgoSpeed: 20, InitialGap: 0},
+		"negative gap":   {ID: S1, EgoSpeed: 20, InitialGap: -60},
 	}
-	for i, s := range bad {
+	for name, s := range bad {
 		if err := s.Validate(); err == nil {
-			t.Errorf("case %d: expected error", i)
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+	for _, id := range All() {
+		for _, gap := range InitialGaps() {
+			if err := DefaultSpec(id, gap).Validate(); err != nil {
+				t.Errorf("default spec %v/%v rejected: %v", id, gap, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sync"
+
+	"adasim/internal/metrics"
+)
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	MaxSize   int   `json:"max_size"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	DiskHits  int64 `json:"disk_hits"`
+	Evictions int64 `json:"evictions"`
+}
+
+// ResultCache is a content-addressed store of per-run outcomes keyed by
+// the run fingerprint hash (see JobSpec.Plan). It keeps an in-memory LRU
+// of maxEntries outcomes and, when dir is non-empty, mirrors every entry
+// to an on-disk JSON store that survives restarts and LRU eviction.
+// Because keys are content hashes of everything that determines a run,
+// an entry is immutable: a key can only ever map to one outcome.
+type ResultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	dir string
+
+	hits, misses, diskHits, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	out metrics.Outcome
+}
+
+// NewResultCache builds a cache holding up to maxEntries outcomes in
+// memory (minimum 1). dir, when non-empty, enables the on-disk store and
+// is created if missing.
+func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating cache dir: %w", err)
+		}
+	}
+	return &ResultCache{
+		max:   maxEntries,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, maxEntries),
+		dir:   dir,
+	}, nil
+}
+
+// Get returns the outcome stored under key. A memory miss falls through
+// to the disk store (when enabled); a disk hit is promoted back into the
+// LRU and still counts as a hit.
+func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		out := el.Value.(*cacheEntry).out
+		c.hits++
+		c.mu.Unlock()
+		return out, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if out, ok := c.readDisk(key); ok {
+			c.mu.Lock()
+			c.hits++
+			c.diskHits++
+			c.insertLocked(key, out)
+			c.mu.Unlock()
+			return out, true
+		}
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return metrics.Outcome{}, false
+}
+
+// Put stores the outcome under key, evicting the least recently used
+// entry when full. Disk-store write failures are swallowed: the cache is
+// an accelerator, never a correctness dependency.
+func (c *ResultCache) Put(key string, out metrics.Outcome) {
+	c.mu.Lock()
+	c.insertLocked(key, out)
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.writeDisk(key, out)
+	}
+}
+
+// insertLocked adds or refreshes an entry; c.mu must be held.
+func (c *ResultCache) insertLocked(key string, out metrics.Outcome) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).out = out
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		MaxSize:   c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		DiskHits:  c.diskHits,
+		Evictions: c.evictions,
+	}
+}
+
+// diskPath shards entries over 256 two-hex-digit directories so a large
+// store does not degenerate into one huge flat directory.
+func (c *ResultCache) diskPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *ResultCache) readDisk(key string) (metrics.Outcome, bool) {
+	if len(key) < 2 {
+		return metrics.Outcome{}, false
+	}
+	b, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return metrics.Outcome{}, false
+	}
+	var out metrics.Outcome
+	if err := json.Unmarshal(b, &out); err != nil {
+		return metrics.Outcome{}, false
+	}
+	return out, true
+}
+
+func (c *ResultCache) writeDisk(key string, out metrics.Outcome) {
+	if len(key) < 2 {
+		return
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return
+	}
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	// Write-then-rename keeps readers from observing partial files.
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key)
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			_ = os.Rename(tmp.Name(), path)
+			return
+		}
+	} else {
+		tmp.Close()
+	}
+	_ = os.Remove(tmp.Name())
+}

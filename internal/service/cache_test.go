@@ -1,0 +1,106 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"adasim/internal/metrics"
+)
+
+func key(i int) string { return fmt.Sprintf("%064d", i) }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewResultCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2, o3 := metrics.Outcome{Steps: 1}, metrics.Outcome{Steps: 2}, metrics.Outcome{Steps: 3}
+	c.Put(key(1), o1)
+	c.Put(key(2), o2)
+	if _, ok := c.Get(key(1)); !ok { // touch 1 so 2 is LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(key(3), o3) // evicts 2
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if got, ok := c.Get(key(1)); !ok || got.Steps != 1 {
+		t.Error("recently used entry 1 evicted")
+	}
+	if got, ok := c.Get(key(3)); !ok || got.Steps != 3 {
+		t.Error("new entry 3 missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c, err := NewResultCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("unexpected hit")
+	}
+	c.Put(key(1), metrics.Outcome{Steps: 1})
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("expected hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss", st)
+	}
+}
+
+func TestCacheDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := metrics.NewOutcome()
+	out.Steps = 321
+	out.Duration = 3.21
+	c.Put(key(7), out)
+
+	// A second cache over the same dir simulates a restart: the entry
+	// must come back from disk, byte-faithful including the Inf minima.
+	c2, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key(7))
+	if !ok {
+		t.Fatal("disk entry not found after restart")
+	}
+	if got.Steps != 321 || got.Duration != 3.21 || got.MinTTC != out.MinTTC {
+		t.Errorf("disk round trip mismatch: got %+v want %+v", got, out)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.DiskHits)
+	}
+	// Now promoted into memory: a second get must not touch disk again.
+	if _, ok := c2.Get(key(7)); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk hits after promotion = %d, want 1", st.DiskHits)
+	}
+}
+
+func TestCacheEvictionKeepsDiskCopy(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(1), metrics.Outcome{Steps: 1})
+	c.Put(key(2), metrics.Outcome{Steps: 2}) // evicts 1 from memory
+	got, ok := c.Get(key(1))
+	if !ok || got.Steps != 1 {
+		t.Error("evicted entry not recovered from disk")
+	}
+}

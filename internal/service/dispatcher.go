@@ -1,0 +1,438 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"adasim/internal/experiments"
+	"adasim/internal/metrics"
+)
+
+// Job status values.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Sentinel errors surfaced by Submit.
+var (
+	// ErrQueueFull means the bounded FIFO job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining means the dispatcher no longer accepts jobs.
+	ErrDraining = errors.New("service: dispatcher draining")
+)
+
+// Config sizes the dispatcher.
+type Config struct {
+	// Workers is the number of pool shards; each owns one long-lived
+	// platform. Zero means GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the FIFO job queue. Zero means 64.
+	QueueSize int
+	// CacheEntries bounds the in-memory result cache. Zero means 4096.
+	CacheEntries int
+	// CacheDir, when non-empty, enables the on-disk result store.
+	CacheDir string
+	// MaxJobRecords bounds how many finished (done or failed) job
+	// records — including their result slices — are retained for
+	// status/results queries. The oldest finished jobs are evicted
+	// first; queued and running jobs are never evicted. Zero means 4096.
+	MaxJobRecords int
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 4096
+	}
+	return c
+}
+
+// JobView is a point-in-time snapshot of a job, shaped for the API.
+type JobView struct {
+	ID            string     `json:"id"`
+	SpecHash      string     `json:"spec_hash"`
+	Status        Status     `json:"status"`
+	TotalRuns     int        `json:"total_runs"`
+	CompletedRuns int        `json:"completed_runs"`
+	CacheHits     int        `json:"cache_hits"`
+	Error         string     `json:"error,omitempty"`
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the dispatcher-internal job record. Mutable fields are guarded
+// by the owning Dispatcher's mu.
+type job struct {
+	id   string
+	spec JobSpec
+	hash string
+	plan []PlannedRun
+
+	status      Status
+	completed   int
+	cacheHits   int
+	errMsg      string
+	submittedAt time.Time
+	startedAt   *time.Time
+	finishedAt  *time.Time
+	results     []experiments.RunOutcome // set once status is done
+	done        chan struct{}            // closed on done/failed
+}
+
+// Dispatcher owns the job queue, the worker pool, and the result cache.
+//
+// Jobs are admitted into a bounded FIFO queue and executed strictly in
+// submission order by a single scheduler goroutine; each job's runs fan
+// out over the shared pool of worker shards. A shard is a goroutine that
+// owns one experiments.Runner — one long-lived core.Platform serviced via
+// Reset — so the steady-state cost of a run is the closed loop itself,
+// never platform construction. Results land in per-job slots indexed by
+// the canonical run order, which keeps job output independent of shard
+// count and task interleaving.
+type Dispatcher struct {
+	cfg   Config
+	cache *ResultCache
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // job IDs in submission order, for retention eviction
+	seq   int
+
+	jobCh  chan *job
+	taskCh chan runTask
+
+	draining  bool
+	drainOnce sync.Once
+	tasksOnce sync.Once
+	schedDone chan struct{}
+	workerWG  sync.WaitGroup
+}
+
+// NewDispatcher starts the worker shards and the scheduler.
+func NewDispatcher(cfg Config) (*Dispatcher, error) {
+	cfg = cfg.normalized()
+	cache, err := NewResultCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		cfg:       cfg,
+		cache:     cache,
+		jobs:      make(map[string]*job),
+		jobCh:     make(chan *job, cfg.QueueSize),
+		taskCh:    make(chan runTask),
+		schedDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		d.workerWG.Add(1)
+		go d.worker()
+	}
+	go d.scheduler()
+	return d, nil
+}
+
+// Cache exposes the result cache (read-mostly: stats, pre-warming).
+func (d *Dispatcher) Cache() *ResultCache { return d.cache }
+
+// Workers returns the shard count.
+func (d *Dispatcher) Workers() int { return d.cfg.Workers }
+
+// QueueDepth returns the number of jobs waiting in the FIFO queue.
+func (d *Dispatcher) QueueDepth() int { return len(d.jobCh) }
+
+// Draining reports whether the dispatcher has stopped accepting jobs.
+func (d *Dispatcher) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Submit validates, normalizes, and enqueues a job spec. It never
+// blocks: a full queue returns ErrQueueFull.
+func (d *Dispatcher) Submit(spec JobSpec) (JobView, error) {
+	norm := spec.Normalized()
+	if err := norm.Validate(); err != nil {
+		return JobView{}, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return JobView{}, err
+	}
+	plan, err := norm.Plan()
+	if err != nil {
+		return JobView{}, err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return JobView{}, ErrDraining
+	}
+	d.seq++
+	j := &job{
+		id:          fmt.Sprintf("j%06d-%s", d.seq, hash[:8]),
+		spec:        norm,
+		hash:        hash,
+		plan:        plan,
+		status:      StatusQueued,
+		submittedAt: time.Now().UTC(),
+		done:        make(chan struct{}),
+	}
+	select {
+	case d.jobCh <- j:
+	default:
+		d.seq-- // the job never existed
+		return JobView{}, ErrQueueFull
+	}
+	d.jobs[j.id] = j
+	d.order = append(d.order, j.id)
+	return d.viewLocked(j), nil
+}
+
+// Job returns a snapshot of the job, if known.
+func (d *Dispatcher) Job(id string) (JobView, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return d.viewLocked(j), true
+}
+
+// Results returns the job's results once it is done. The boolean is
+// false for unknown jobs; the error reports a job that has not finished
+// (or failed).
+func (d *Dispatcher) Results(id string) ([]experiments.RunOutcome, string, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return nil, "", false, nil
+	}
+	switch j.status {
+	case StatusDone:
+		return j.results, j.hash, true, nil
+	case StatusFailed:
+		return nil, j.hash, true, fmt.Errorf("service: job %s failed: %s", id, j.errMsg)
+	default:
+		return nil, j.hash, true, fmt.Errorf("service: job %s is %s", id, j.status)
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state,
+// or nil for unknown jobs.
+func (d *Dispatcher) Done(id string) <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j, ok := d.jobs[id]; ok {
+		return j.done
+	}
+	return nil
+}
+
+// JobCounts returns the number of jobs per status.
+func (d *Dispatcher) JobCounts() map[Status]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	counts := make(map[Status]int, 4)
+	for _, j := range d.jobs {
+		counts[j.status]++
+	}
+	return counts
+}
+
+// Drain stops accepting new jobs, lets every queued and running job
+// finish, then stops the worker shards. It is idempotent; ctx bounds the
+// wait.
+func (d *Dispatcher) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	d.drainOnce.Do(func() { close(d.jobCh) })
+
+	select {
+	case <-d.schedDone:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+
+	d.tasksOnce.Do(func() { close(d.taskCh) })
+	workersDone := make(chan struct{})
+	go func() { d.workerWG.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+func (d *Dispatcher) viewLocked(j *job) JobView {
+	return JobView{
+		ID:            j.id,
+		SpecHash:      j.hash,
+		Status:        j.status,
+		TotalRuns:     len(j.plan),
+		CompletedRuns: j.completed,
+		CacheHits:     j.cacheHits,
+		Error:         j.errMsg,
+		SubmittedAt:   j.submittedAt,
+		StartedAt:     j.startedAt,
+		FinishedAt:    j.finishedAt,
+	}
+}
+
+// scheduler executes queued jobs strictly in FIFO order.
+func (d *Dispatcher) scheduler() {
+	defer close(d.schedDone)
+	for j := range d.jobCh {
+		d.execute(j)
+	}
+}
+
+// runTask is one run dispatched to a worker shard: the planned run plus
+// the slots its result and error land in, and the completion hooks.
+type runTask struct {
+	run  PlannedRun
+	out  *experiments.RunOutcome
+	err  *error
+	wg   *sync.WaitGroup
+	note func()
+}
+
+// execute resolves a job: cached runs short-circuit, the rest fan out
+// over the worker shards, and fresh outcomes are written back to the
+// cache.
+func (d *Dispatcher) execute(j *job) {
+	now := time.Now().UTC()
+	d.mu.Lock()
+	j.status = StatusRunning
+	j.startedAt = &now
+	d.mu.Unlock()
+
+	outs := make([]experiments.RunOutcome, len(j.plan))
+	errs := make([]error, len(j.plan))
+	var wg sync.WaitGroup
+	var missed []int
+	for i, pr := range j.plan {
+		if out, ok := d.cache.Get(pr.CacheKey); ok {
+			outs[i] = experiments.RunOutcome{Key: pr.Key, Outcome: out}
+			d.mu.Lock()
+			j.completed++
+			j.cacheHits++
+			d.mu.Unlock()
+			continue
+		}
+		missed = append(missed, i)
+	}
+	for _, i := range missed {
+		wg.Add(1)
+		d.taskCh <- runTask{
+			run: j.plan[i],
+			out: &outs[i],
+			err: &errs[i],
+			wg:  &wg,
+			note: func() {
+				d.mu.Lock()
+				j.completed++
+				d.mu.Unlock()
+			},
+		}
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, i := range missed {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		d.cache.Put(j.plan[i].CacheKey, outs[i].Outcome)
+	}
+
+	end := time.Now().UTC()
+	d.mu.Lock()
+	j.finishedAt = &end
+	if firstErr != nil {
+		j.status = StatusFailed
+		j.errMsg = firstErr.Error()
+	} else {
+		j.status = StatusDone
+		j.results = outs
+	}
+	d.pruneLocked()
+	d.mu.Unlock()
+	close(j.done)
+}
+
+// pruneLocked evicts the oldest finished job records once more than
+// MaxJobRecords of them are retained, so a long-lived daemon's memory is
+// bounded by the record cap rather than its submission history. Queued
+// and running jobs are never evicted. d.mu must be held.
+func (d *Dispatcher) pruneLocked() {
+	finished := 0
+	for _, j := range d.jobs {
+		if j.status == StatusDone || j.status == StatusFailed {
+			finished++
+		}
+	}
+	if finished <= d.cfg.MaxJobRecords {
+		return
+	}
+	kept := d.order[:0]
+	for _, id := range d.order {
+		j := d.jobs[id]
+		if finished > d.cfg.MaxJobRecords && (j.status == StatusDone || j.status == StatusFailed) {
+			delete(d.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	d.order = kept
+}
+
+// worker is one pool shard: a goroutine owning one experiments.Runner
+// (and therefore one long-lived platform) that services runs until the
+// task channel closes at drain.
+func (d *Dispatcher) worker() {
+	defer d.workerWG.Done()
+	var r experiments.Runner
+	for t := range d.taskCh {
+		res, err := r.Do(t.run.Opts)
+		if err != nil {
+			*t.err = fmt.Errorf("run %v/%v/%d: %w",
+				t.run.Key.Scenario, t.run.Key.Gap, t.run.Key.Rep, err)
+		} else {
+			*t.out = experiments.RunOutcome{Key: t.run.Key, Outcome: res.Outcome}
+			t.note()
+		}
+		t.wg.Done()
+	}
+}
+
+// AggregateFor computes the campaign aggregate of a result set.
+func AggregateFor(results []experiments.RunOutcome) metrics.Aggregate {
+	return metrics.AggregateOutcomes(experiments.Outcomes(results))
+}

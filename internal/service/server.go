@@ -1,0 +1,174 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"adasim/internal/experiments"
+	"adasim/internal/metrics"
+	"adasim/internal/scenario"
+)
+
+// Server exposes the dispatcher over HTTP/JSON:
+//
+//	POST /v1/jobs               submit a JobSpec            -> 202 JobView
+//	GET  /v1/jobs/{id}          job status and progress     -> 200 JobView
+//	GET  /v1/jobs/{id}/results  results of a finished job   -> 200 ResultsResponse
+//	GET  /v1/scenarios          the scenario catalogue      -> 200
+//	GET  /healthz               liveness, pool + cache view -> 200
+type Server struct {
+	d   *Dispatcher
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(d *Dispatcher) *Server {
+	s := &Server{d: d, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ResultsResponse is the wire format of a finished job's results. It
+// deliberately carries no job ID or timing so that two jobs with the
+// same spec produce byte-identical responses.
+type ResultsResponse struct {
+	SpecHash  string                   `json:"spec_hash"`
+	TotalRuns int                      `json:"total_runs"`
+	Results   []experiments.RunOutcome `json:"results"`
+	Aggregate metrics.Aggregate        `json:"aggregate"`
+}
+
+// ScenarioInfo is one entry of the scenario catalogue.
+type ScenarioInfo struct {
+	ID          int    `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// ScenariosResponse is the scenario catalogue plus the paper's default
+// initial gaps.
+type ScenariosResponse struct {
+	Scenarios   []ScenarioInfo `json:"scenarios"`
+	DefaultGaps []float64      `json:"default_gaps"`
+}
+
+// HealthResponse reports liveness plus a pool and cache snapshot.
+type HealthResponse struct {
+	Status     string         `json:"status"` // "ok" or "draining"
+	Workers    int            `json:"workers"`
+	QueueDepth int            `json:"queue_depth"`
+	Jobs       map[Status]int `json:"jobs"`
+	Cache      CacheStats     `json:"cache"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	view, err := s.d.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.d.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	results, hash, ok, err := s.d.Results(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultsResponse{
+		SpecHash:  hash,
+		TotalRuns: len(results),
+		Results:   results,
+		Aggregate: AggregateFor(results),
+	})
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	resp := ScenariosResponse{DefaultGaps: scenario.InitialGaps()}
+	for _, id := range scenario.All() {
+		resp.Scenarios = append(resp.Scenarios, ScenarioInfo{
+			ID:          int(id),
+			Name:        id.String(),
+			Description: id.Description(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.d.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     status,
+		Workers:    s.d.Workers(),
+		QueueDepth: s.d.QueueDepth(),
+		Jobs:       s.d.JobCounts(),
+		Cache:      s.d.Cache().Stats(),
+	})
+}
+
+// writeJSON encodes v with a trailing newline. Marshal happens before
+// the header is written so an encoding failure can still produce a 500.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	b, merr := json.Marshal(errorResponse{Error: err.Error()})
+	if merr != nil {
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}

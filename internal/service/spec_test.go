@@ -1,0 +1,219 @@
+package service
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testSpec is the fixed spec used by the golden and hashing tests.
+func testSpec() JobSpec {
+	return JobSpec{
+		Scenarios: []scenario.ID{scenario.S1, scenario.S4},
+		Gaps:      []float64{60},
+		Reps:      2,
+		Steps:     500,
+		BaseSeed:  7,
+		Salt:      3,
+		Fault:     fi.DefaultParams(fi.TargetRelDistance),
+		Interventions: core.InterventionSet{
+			Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent,
+		},
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	n := JobSpec{}.Normalized()
+	if !reflect.DeepEqual(n.Scenarios, scenario.All()) {
+		t.Errorf("Scenarios = %v, want all", n.Scenarios)
+	}
+	if !reflect.DeepEqual(n.Gaps, scenario.InitialGaps()) {
+		t.Errorf("Gaps = %v, want paper defaults", n.Gaps)
+	}
+	if n.Reps != 1 {
+		t.Errorf("Reps = %d, want 1", n.Reps)
+	}
+	if n.Steps != core.DefaultSteps {
+		t.Errorf("Steps = %d, want %d", n.Steps, core.DefaultSteps)
+	}
+}
+
+func TestNormalizedCanonicalises(t *testing.T) {
+	a := JobSpec{
+		Scenarios: []scenario.ID{scenario.S4, scenario.S1, scenario.S4},
+		Gaps:      []float64{230, 60, 230},
+	}.Normalized()
+	b := JobSpec{
+		Scenarios: []scenario.ID{scenario.S1, scenario.S4},
+		Gaps:      []float64{60, 230},
+	}.Normalized()
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("permuted/duplicated spec hashes differ: %s vs %s", ha, hb)
+	}
+	// Steps 0 and the explicit default are the same campaign.
+	c := JobSpec{Steps: core.DefaultSteps}.Normalized()
+	d := JobSpec{}.Normalized()
+	hc, _ := c.Hash()
+	hd, _ := d.Hash()
+	if hc != hd {
+		t.Errorf("steps=0 and steps=default hash differently")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := testSpec().Normalized()
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*JobSpec){
+		"reps":  func(s *JobSpec) { s.Reps++ },
+		"seed":  func(s *JobSpec) { s.BaseSeed++ },
+		"salt":  func(s *JobSpec) { s.Salt++ },
+		"fault": func(s *JobSpec) { s.Fault.CurvatureOffset += 0.001 },
+		"iv":    func(s *JobSpec) { s.Interventions.Monitor = true },
+		"gap":   func(s *JobSpec) { s.Gaps = []float64{61} },
+	}
+	for name, mutate := range mutations {
+		m := testSpec().Normalized()
+		mutate(&m)
+		h, err := m.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h0 {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]JobSpec{
+		"bad scenario":  {Scenarios: []scenario.ID{99}},
+		"zero gap":      {Gaps: []float64{0}},
+		"negative gap":  {Gaps: []float64{-5}},
+		"negative reps": {Reps: -1},
+		"too many runs": {Reps: MaxRunsPerJob},
+		// 12 * this wraps mod 2^64 to a tiny value; the check must not
+		// be fooled by overflow.
+		"overflowing reps": {Reps: 1537228672809129302},
+		"huge steps":       {Steps: MaxStepsPerRun + 1},
+		"negative steps":   {Steps: -1},
+		"ml":               {Interventions: core.InterventionSet{ML: true}},
+		"bad fault":        {Fault: fi.Params{Target: fi.Target(42)}},
+		"bad tiers": {Fault: fi.Params{
+			Target:        fi.TargetRelDistance,
+			DistanceTiers: []fi.DistanceTier{{Below: 20, Offset: 1}, {Below: 10, Offset: 2}},
+		}},
+	}
+	for name, spec := range cases {
+		if err := spec.Normalized().Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, spec)
+		}
+	}
+	if err := testSpec().Normalized().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := testSpec().Normalized()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, spec)
+	}
+}
+
+// TestSpecGolden pins the job-spec wire format and its content hash. If
+// this fails, the wire format changed: bump the API deliberately (and
+// regenerate with -update) or fix the regression.
+func TestSpecGolden(t *testing.T) {
+	spec := testSpec().Normalized()
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b) + "\n" + hash + "\n"
+
+	path := filepath.Join("testdata", "jobspec.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("job spec wire format drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPlanSharesCacheKeysAcrossSpecs(t *testing.T) {
+	one := JobSpec{Scenarios: []scenario.ID{scenario.S1}, Gaps: []float64{60}, Reps: 1, Steps: 300}.Normalized()
+	two := one
+	two.Reps = 2
+
+	p1, err := one.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := two.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 1 || len(p2) != 2 {
+		t.Fatalf("plan sizes = %d, %d; want 1, 2", len(p1), len(p2))
+	}
+	// Different specs, same first run: the cache key must coincide so a
+	// rep extension reuses prior work.
+	if p1[0].CacheKey != p2[0].CacheKey {
+		t.Errorf("rep-0 cache keys differ across overlapping specs")
+	}
+	if p2[0].CacheKey == p2[1].CacheKey {
+		t.Errorf("distinct reps share a cache key")
+	}
+	if !strings.Contains(p1[0].CacheKey, "") || len(p1[0].CacheKey) != 64 {
+		t.Errorf("cache key is not a sha256 hex digest: %q", p1[0].CacheKey)
+	}
+	// Seeds must match what RunMatrix would derive.
+	for _, pr := range p2 {
+		if pr.Opts.Seed == 0 {
+			t.Errorf("run %v has zero seed", pr.Key)
+		}
+	}
+}
