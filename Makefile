@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test bench clean
+.PHONY: build vet test bench explore-smoke clean
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,22 @@ bench:
 		echo "backed up previous BENCH_step.json to BENCH_history/"; \
 	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkExploreBoundarySearch$$' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# explore-smoke exercises the scenario-generation and exploration
+# subsystem end to end at tiny scale: a seeded LHS sweep and one
+# hazard-boundary search over the generated cut-in family, through the
+# same engine the service uses. It catches breakage in scengen families,
+# samplers, and the boundary search without pinning timings.
+explore-smoke:
+	$(GO) run ./cmd/scen -family cut-in -method lhs -samples 4 -steps 600 \
+		-axes "trigger_gap=10:50" -fault rd -out /dev/null
+	$(GO) run ./cmd/scen -family cut-in -boundary-axis trigger_gap \
+		-boundary-min 5 -boundary-max 60 -tol 2 -driver -steps 800 \
+		-fixed "cutin_gap=25" -out /dev/null
 
 clean:
 	rm -f BENCH_step.json

@@ -15,6 +15,7 @@ import (
 	"adasim/internal/core"
 	"adasim/internal/driver"
 	"adasim/internal/experiments"
+	"adasim/internal/explore"
 	"adasim/internal/fi"
 	"adasim/internal/metrics"
 	"adasim/internal/mlmit"
@@ -375,6 +376,42 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		warm.BaseSeed = 1
 		runBench(b, func(i int) service.JobSpec { return warm })
 	})
+}
+
+// BenchmarkExploreBoundarySearch measures one hazard-boundary search
+// over the generated cut-in family end to end: bracketing plus bisection
+// probes (shortened runs) executed through a long-lived platform pool,
+// uncached so every probe is a real closed-loop run. probes/sec is the
+// exploration-throughput tracker across PRs.
+func BenchmarkExploreBoundarySearch(b *testing.B) {
+	eng := explore.New(experiments.NewPool(0), nil)
+	// Fault-free with only driver reactions: the frontier sits mid-range
+	// (~23 m), so every op pays the full bracket-plus-bisection cost; an
+	// 8 s horizon is enough to classify the tightest merge.
+	spec := explore.Spec{
+		Family:        "cut-in",
+		Steps:         800,
+		Interventions: core.InterventionSet{Driver: true},
+		Fixed:         map[string]float64{"cutin_gap": 25},
+		Boundary: &explore.BoundarySpec{
+			Axis: "trigger_gap", Min: 5, Max: 60, Tolerance: 1,
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		rep, stats, err := eng.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Boundary == nil {
+			b.Fatal("no boundary result")
+		}
+		probes += stats.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/sec")
 }
 
 // BenchmarkPerception measures the perception sensor alone.

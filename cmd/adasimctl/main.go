@@ -6,18 +6,23 @@
 //
 // Commands:
 //
-//	submit     submit a job (from -spec JSON or from flags); -wait blocks
-//	status     show a job's status and progress
-//	results    fetch a finished job's results
-//	wait       block until a job reaches a terminal state
-//	scenarios  list the scenario catalogue
-//	health     show daemon health, pool, and cache counters
+//	submit           submit a job (from -spec JSON or from flags); -wait blocks
+//	status           show a job's status and progress
+//	results          fetch a finished job's results
+//	wait             block until a job reaches a terminal state
+//	explore          submit a scenario-space exploration; -wait blocks
+//	explore-status   show an exploration's status and progress
+//	explore-results  fetch a finished exploration's report
+//	scenarios        list the scenario catalogue (including families)
+//	health           show daemon health, pool, and cache counters
 //
 // Examples:
 //
 //	adasimctl submit -fault rd -driver -check -aeb indep -reps 3 -wait
 //	adasimctl submit -spec job.json
 //	adasimctl results -id j000001-1a2b3c4d
+//	adasimctl explore -family cut-in -boundary-axis trigger_gap -driver -fault curv -wait
+//	adasimctl explore -family cut-in -method lhs -samples 32 -axes "trigger_gap=5:60" -wait
 package main
 
 import (
@@ -32,9 +37,7 @@ import (
 	"strings"
 	"time"
 
-	"adasim/internal/aebs"
-	"adasim/internal/core"
-	"adasim/internal/fi"
+	"adasim/internal/explore"
 	"adasim/internal/scenario"
 	"adasim/internal/service"
 )
@@ -49,7 +52,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|scenarios|health> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|scenarios|health> [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,6 +71,12 @@ func run() error {
 		return cmdJobGet(c, args, "/results")
 	case "wait":
 		return cmdWait(c, args)
+	case "explore":
+		return cmdExplore(c, args)
+	case "explore-status":
+		return cmdExplorationGet(c, args, "")
+	case "explore-results":
+		return cmdExplorationGet(c, args, "/results")
 	case "scenarios":
 		return c.getPrint("/v1/scenarios")
 	case "health":
@@ -103,7 +112,11 @@ func cmdSubmit(c *client, args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := json.Unmarshal(b, &spec); err != nil {
+		// Strict decode, matching the server: a typo'd field fails here
+		// instead of silently running a different campaign.
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
 			return fmt.Errorf("parsing %s: %w", *specPath, err)
 		}
 	} else {
@@ -134,6 +147,7 @@ func cmdSubmit(c *client, args []string) error {
 func specFromFlags(scenarioArg, gapArg string, reps, steps int, seed, salt int64,
 	fault string, driver, check bool, aeb string, monitor bool) (service.JobSpec, error) {
 	spec := service.JobSpec{Reps: reps, Steps: steps, BaseSeed: seed, Salt: salt}
+	var err error
 
 	if scenarioArg != "" {
 		for _, part := range strings.Split(scenarioArg, ",") {
@@ -153,26 +167,11 @@ func specFromFlags(scenarioArg, gapArg string, reps, steps int, seed, salt int64
 			spec.Gaps = append(spec.Gaps, gap)
 		}
 	}
-	switch fault {
-	case "none", "":
-	case "rd":
-		spec.Fault = fi.DefaultParams(fi.TargetRelDistance)
-	case "curv":
-		spec.Fault = fi.DefaultParams(fi.TargetCurvature)
-	case "mixed":
-		spec.Fault = fi.DefaultParams(fi.TargetMixed)
-	default:
-		return spec, fmt.Errorf("unknown fault %q (want none|rd|curv|mixed)", fault)
+	if spec.Fault, err = explore.ParseFault(fault); err != nil {
+		return spec, err
 	}
-	spec.Interventions = core.InterventionSet{Driver: driver, SafetyCheck: check, Monitor: monitor}
-	switch aeb {
-	case "off", "":
-	case "comp":
-		spec.Interventions.AEB = aebs.SourceCompromised
-	case "indep":
-		spec.Interventions.AEB = aebs.SourceIndependent
-	default:
-		return spec, fmt.Errorf("unknown aeb source %q (want off|comp|indep)", aeb)
+	if spec.Interventions, err = explore.ParseInterventions(driver, check, aeb, monitor); err != nil {
+		return spec, err
 	}
 	return spec, nil
 }
@@ -185,6 +184,55 @@ func cmdJobGet(c *client, args []string, suffix string) error {
 		return fmt.Errorf("-id is required")
 	}
 	return c.getPrint("/v1/jobs/" + *id + suffix)
+}
+
+func cmdExplore(c *client, args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	specPath := fs.String("spec", "", "exploration spec JSON file ('-' = stdin); overrides the spec flags")
+	wait := fs.Bool("wait", false, "wait for completion and print the report")
+	var sf explore.SpecFlags
+	sf.Register(fs)
+	fs.Parse(args)
+
+	var spec explore.Spec
+	var err error
+	if *specPath != "" {
+		b, err := readFileOrStdin(*specPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = explore.DecodeSpec(b); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	} else if spec, err = sf.Spec(); err != nil {
+		return err
+	}
+
+	var view service.ExplorationView
+	if err := c.postJSON("/v1/explorations", spec, &view); err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(view)
+	}
+	final, err := c.waitExploration(view.ID)
+	if err != nil {
+		return err
+	}
+	if final.Status != service.StatusDone {
+		return fmt.Errorf("exploration %s %s: %s", final.ID, final.Status, final.Error)
+	}
+	return c.getPrint("/v1/explorations/" + final.ID + "/results")
+}
+
+func cmdExplorationGet(c *client, args []string, suffix string) error {
+	fs := flag.NewFlagSet("exploration", flag.ExitOnError)
+	id := fs.String("id", "", "exploration id")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	return c.getPrint("/v1/explorations/" + *id + suffix)
 }
 
 func cmdWait(c *client, args []string) error {
@@ -211,6 +259,19 @@ func (c *client) waitJob(id string) (service.JobView, error) {
 	for {
 		var view service.JobView
 		if err := c.getJSON("/v1/jobs/"+id, &view); err != nil {
+			return view, err
+		}
+		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
+			return view, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (c *client) waitExploration(id string) (service.ExplorationView, error) {
+	for {
+		var view service.ExplorationView
+		if err := c.getJSON("/v1/explorations/"+id, &view); err != nil {
 			return view, err
 		}
 		if view.Status == service.StatusDone || view.Status == service.StatusFailed {

@@ -1,0 +1,141 @@
+// Command scen runs scenario-space explorations offline, without the
+// adasimd daemon: full-factorial grid sweeps, seeded Latin-hypercube and
+// Monte-Carlo sampling, and hazard-boundary searches over the parametric
+// scenario families (internal/scengen), executed on an in-process pool
+// of long-lived platforms. The report JSON goes to stdout (or -out); a
+// human summary goes to stderr.
+//
+// Examples:
+//
+//	scen -families
+//	scen -family cut-in -method lhs -samples 32 -axes "trigger_gap=5:60,lane_change_time=1:6" -fault rd
+//	scen -family cut-in -boundary-axis trigger_gap -driver -fault curv -tol 0.5
+//	scen -family lead-profile -method grid -axes "trigger_gap=20:80:7,decel=1:9:5" -fixed "target_speed=0"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"adasim/internal/experiments"
+	"adasim/internal/explore"
+	"adasim/internal/scengen"
+	"adasim/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listFams = flag.Bool("families", false, "print the family catalogue and exit")
+		specPath = flag.String("spec", "", "exploration spec JSON file ('-' = stdin); overrides the spec flags")
+		par      = flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "optional on-disk result cache (shared with adasimd)")
+		out      = flag.String("out", "", "write the report JSON here instead of stdout")
+	)
+	var sf explore.SpecFlags
+	sf.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *listFams {
+		return printJSON(os.Stdout, scengen.Families())
+	}
+
+	var spec explore.Spec
+	var err error
+	if *specPath != "" {
+		b, err := readFileOrStdin(*specPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = explore.DecodeSpec(b); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	} else if spec, err = sf.Spec(); err != nil {
+		return err
+	}
+
+	// The offline path uses the same content-addressed cache type as the
+	// daemon, so a shared -cache-dir lets sweeps and the service trade
+	// results.
+	cache, err := service.NewResultCache(1<<16, *cacheDir)
+	if err != nil {
+		return err
+	}
+	eng := explore.New(experiments.NewPool(*par), cache)
+	var progressMu sync.Mutex
+	done := 0
+	eng.Progress = func(completed, cacheHits int) { // called from worker goroutines
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		if completed > done {
+			done = completed
+			fmt.Fprintf(os.Stderr, "scen: %d probes done (%d cached)\n", completed, cacheHits)
+		}
+	}
+	rep, stats, err := eng.Run(spec)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := printJSON(w, rep); err != nil {
+		return err
+	}
+	summarize(os.Stderr, rep, stats)
+	return nil
+}
+
+// summarize prints the human-readable exploration outcome to w.
+func summarize(w *os.File, rep *explore.Report, stats explore.Stats) {
+	accidents := 0
+	for _, p := range rep.Probes {
+		if p.Accident() {
+			accidents++
+		}
+	}
+	fmt.Fprintf(w, "scen: %s/%s: %d probes (%d cached), %d accidents\n",
+		rep.Family, rep.Method, stats.Probes, stats.CacheHits, accidents)
+	if b := rep.Boundary; b != nil {
+		if b.Bracketed {
+			fmt.Fprintf(w, "scen: hazard boundary on %s: frontier %.3f (bracket [%.3f, %.3f], converged=%v, %d probes)\n",
+				b.Axis, b.Frontier, b.Lo, b.Hi, b.Converged, b.Probes)
+		} else {
+			fmt.Fprintf(w, "scen: no frontier on %s in [%v, %v]: accident everywhere=%v\n",
+				b.Axis, b.Lo, b.Hi, b.AccidentAtMin)
+		}
+	}
+}
+
+func printJSON(w *os.File, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(b))
+	return err
+}
+
+func readFileOrStdin(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,75 @@
+// Scenario-search demo: how much margin does a safety intervention buy?
+//
+// The generated cut-in family (internal/scengen) generalises the paper's
+// S5: an adjacent vehicle merges into the ego lane once the ego is
+// trigger_gap metres behind it — the smaller the gap, the more hostile
+// the merge. Under the adversarial road-patch attack on desired
+// curvature (the paper's ALC attack), this program runs a hazard-
+// boundary search (internal/explore) along trigger_gap to find the
+// minimum safe merge distance with a reacting driver, first without and
+// then with the independent-sensor AEBS.
+//
+// Expected shape of the result: without AEBS the frontier sits around
+// 20 m — merges tighter than that end in an accident while the ego is
+// fighting the curvature attack; with the independent AEBS engaged the
+// whole range is survivable, so no frontier exists and the search
+// reports the range safe end to end (Observation 5's independence
+// argument, rediscovered by search instead of by a fixed campaign).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adasim/internal/aebs"
+	"adasim/internal/core"
+	"adasim/internal/experiments"
+	"adasim/internal/explore"
+	"adasim/internal/fi"
+)
+
+func main() {
+	configs := []struct {
+		label string
+		iv    core.InterventionSet
+	}{
+		{"driver only (AEBS off)", core.InterventionSet{Driver: true}},
+		{"driver + independent AEBS", core.InterventionSet{Driver: true, AEB: aebs.SourceIndependent}},
+	}
+
+	// One pool and one in-process content-addressed cache shared by both
+	// searches: the endpoint probes repeat across configurations only
+	// when the intervention set matches, but platform reuse spans all of
+	// them.
+	pool := experiments.NewPool(0)
+
+	fmt.Println("minimum safe cut-in trigger gap under the road-patch (curvature) attack")
+	fmt.Println("searched range: 5-60 m, tolerance 0.5 m")
+	for _, cfg := range configs {
+		eng := explore.New(pool, nil)
+		rep, stats, err := eng.Run(explore.Spec{
+			Family:        "cut-in",
+			Steps:         4000, // 40 s covers the merge and the patch zone
+			Fault:         fi.DefaultParams(fi.TargetCurvature),
+			Interventions: cfg.iv,
+			Fixed:         map[string]float64{"cutin_gap": 25},
+			Boundary: &explore.BoundarySpec{
+				Axis: "trigger_gap", Min: 5, Max: 60, Tolerance: 0.5,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := rep.Boundary
+		fmt.Printf("\n=== %s (%d probes) ===\n", cfg.label, stats.Probes)
+		switch {
+		case b.Bracketed:
+			fmt.Printf("  frontier: merges tighter than %.2f m end in an accident\n", b.Frontier)
+			fmt.Printf("  bracket [%.2f, %.2f] m, converged=%v\n", b.Lo, b.Hi, b.Converged)
+		case b.AccidentAtMin: // && AccidentAtMax: hostile everywhere
+			fmt.Println("  no safe trigger gap in range: every probe ended in an accident")
+		default:
+			fmt.Println("  no frontier in range: every probe was safe, even a 5 m merge")
+		}
+	}
+}

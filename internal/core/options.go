@@ -145,8 +145,11 @@ type Options struct {
 	ContinueAfterAccident bool
 }
 
-// withDefaults returns a copy of o with zero values replaced by defaults.
-func (o Options) withDefaults() Options {
+// WithDefaults returns a copy of o with zero values replaced by
+// defaults. It is exported so run fingerprinting (experiments) hashes the
+// same resolved options the platform executes, regardless of which zero
+// values the caller left implicit.
+func (o Options) WithDefaults() Options {
 	if o.Map == 0 {
 		o.Map = road.MapCurvy
 	}

@@ -113,7 +113,7 @@ const traceCap = 1 << 16
 // The rng draw order must not change — perception and driver seeds derive
 // from it and determinism across fresh/reused platforms depends on it.
 func (p *Platform) init(opts Options) error {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if err := opts.validate(); err != nil {
 		return err
 	}

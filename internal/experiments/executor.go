@@ -58,27 +58,40 @@ type RunRequest struct {
 	Opts core.Options
 }
 
-// ExecuteRuns fans the requests out over parallelism worker goroutines
-// (GOMAXPROCS when <= 0), each owning one Runner. Results land at the
+// Pool is a reusable set of Runners. Execute fans a batch out over the
+// pool with the same deterministic, index-ordered results as ExecuteRuns,
+// but the Runners — and therefore their long-lived platforms — survive
+// across batches, so sequential workloads (exploration probes, boundary
+// searches) pay platform construction once per pool, not once per batch.
+// A Pool is not safe for concurrent Execute calls.
+type Pool struct {
+	runners []Runner
+}
+
+// NewPool sizes a pool at parallelism Runners (GOMAXPROCS when <= 0).
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{runners: make([]Runner, parallelism)}
+}
+
+// Execute runs the batch over the pool's Runners. Results land at the
 // index of their request, so the output order is deterministic and
 // independent of the worker count. onDone, when non-nil, is invoked once
 // per completed run from the worker goroutines (callers use it for
 // progress accounting; it must be safe for concurrent use). The first
 // run error aborts the batch result, but every request still executes.
-func ExecuteRuns(parallelism int, reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]RunOutcome, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
+func (p *Pool) Execute(reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]RunOutcome, error) {
 	outs := make([]RunOutcome, len(reqs))
 	errs := make([]error, len(reqs))
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for w := range p.runners {
 		wg.Add(1)
-		go func() {
+		go func(r *Runner) {
 			defer wg.Done()
-			var r Runner
 			for i := range idx {
 				req := reqs[i]
 				res, err := r.Do(req.Opts)
@@ -92,7 +105,7 @@ func ExecuteRuns(parallelism int, reqs []RunRequest, onDone func(i int, ro RunOu
 					onDone(i, outs[i])
 				}
 			}
-		}()
+		}(&p.runners[w])
 	}
 	for i := range reqs {
 		idx <- i
@@ -105,4 +118,11 @@ func ExecuteRuns(parallelism int, reqs []RunRequest, onDone func(i int, ro RunOu
 		}
 	}
 	return outs, nil
+}
+
+// ExecuteRuns fans the requests out over a fresh pool of parallelism
+// worker goroutines (GOMAXPROCS when <= 0), each owning one Runner. See
+// Pool.Execute for the ordering and error contract.
+func ExecuteRuns(parallelism int, reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]RunOutcome, error) {
+	return NewPool(parallelism).Execute(reqs, onDone)
 }

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"testing"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/scenario"
+)
+
+func TestRunFingerprintDefaultsInvariance(t *testing.T) {
+	implicit := core.Options{
+		Scenario: scenario.DefaultSpec(scenario.S1, 60),
+		Seed:     7,
+	}
+	explicit := implicit
+	explicit.FrictionScale = 1
+	explicit.Steps = core.DefaultSteps
+	explicit.StepSize = core.DefaultStepSize
+	explicit.PatchStart = core.DefaultPatchStart
+	explicit.PatchLength = core.DefaultPatchLength
+
+	hi, err := RunFingerprint(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := RunFingerprint(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != he {
+		t.Errorf("implicit and explicit defaults fingerprint differently: %s vs %s", hi, he)
+	}
+	if len(hi) != 64 {
+		t.Errorf("fingerprint is not a sha256 hex digest: %q", hi)
+	}
+}
+
+// TestRunFingerprintRejectsML pins the refusal: trained weights
+// determine an ML run's outcome but do not serialize, so fingerprinting
+// one would collide different networks onto one cache key.
+func TestRunFingerprintRejectsML(t *testing.T) {
+	opts := core.Options{
+		Scenario:      scenario.DefaultSpec(scenario.S1, 60),
+		Interventions: core.InterventionSet{ML: true},
+	}
+	if _, err := RunFingerprint(opts); err == nil {
+		t.Error("RunFingerprint accepted an ML run")
+	}
+}
+
+func TestRunFingerprintSensitivity(t *testing.T) {
+	base := core.Options{
+		Scenario: scenario.DefaultSpec(scenario.S1, 60),
+		Fault:    fi.DefaultParams(fi.TargetRelDistance),
+		Seed:     7,
+	}
+	h0, err := RunFingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*core.Options){
+		"seed":     func(o *core.Options) { o.Seed++ },
+		"steps":    func(o *core.Options) { o.Steps = 500 },
+		"friction": func(o *core.Options) { o.FrictionScale = 0.5 },
+		"fault":    func(o *core.Options) { o.Fault.CurvatureOffset += 0.001 },
+		"scenario": func(o *core.Options) { o.Scenario.InitialGap = 61 },
+		"iv":       func(o *core.Options) { o.Interventions.Driver = true },
+		"generated": func(o *core.Options) {
+			o.Scenario = scenario.Spec{
+				ID: scenario.IDGenerated, EgoSpeed: 22, InitialGap: 60, SpeedLimit: 22,
+				Generated: &scenario.GenSpec{Actors: []scenario.ActorSpec{
+					{Name: "lead", Gap: 60, Speed: 13, Behavior: scenario.BehaviorSpec{InitialSpeed: 13}},
+				}},
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		o := base
+		mutate(&o)
+		h, err := RunFingerprint(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h0 {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestPoolReusesAcrossBatches pins the pool's whole point: outcomes from
+// a long-lived pool executing several sequential batches are identical to
+// fresh ExecuteRuns batches (the Reset bit-identity contract, held across
+// batch boundaries).
+func TestPoolReusesAcrossBatches(t *testing.T) {
+	req := func(seed int64) RunRequest {
+		return RunRequest{
+			Key: RunKey{Scenario: scenario.S1, Gap: 60, Rep: int(seed)},
+			Opts: core.Options{
+				Scenario: scenario.DefaultSpec(scenario.S1, 60),
+				Fault:    fi.DefaultParams(fi.TargetRelDistance),
+				Seed:     seed,
+				Steps:    300,
+			},
+		}
+	}
+	pool := NewPool(2)
+	var pooled []RunOutcome
+	for batch := 0; batch < 3; batch++ {
+		outs, err := pool.Execute([]RunRequest{req(int64(2*batch + 1)), req(int64(2*batch + 2))}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled = append(pooled, outs...)
+	}
+	// Fresh single-batch comparison.
+	var reqs []RunRequest
+	for seed := int64(1); seed <= 6; seed++ {
+		reqs = append(reqs, req(seed))
+	}
+	fresh, err := ExecuteRuns(4, reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(pooled) {
+		t.Fatalf("length mismatch %d vs %d", len(fresh), len(pooled))
+	}
+	for i := range fresh {
+		if fresh[i].Outcome != pooled[i].Outcome {
+			t.Errorf("run %d: pooled outcome diverges from fresh run", i)
+		}
+	}
+}

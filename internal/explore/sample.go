@@ -1,0 +1,70 @@
+package explore
+
+import "math/rand"
+
+// Point is one sampled parameter assignment. JSON encoding sorts map
+// keys, so a Point's wire form is deterministic.
+type Point map[string]float64
+
+// GridPoints enumerates the full-factorial grid over the axes, first
+// axis slowest (axis-major). An axis with Points == 1 contributes its
+// midpoint. No axes yields a single empty point.
+func GridPoints(axes []Axis) []Point {
+	total := 1
+	for _, ax := range axes {
+		total *= ax.Points
+	}
+	pts := make([]Point, total)
+	for i := range pts {
+		pt := make(Point, len(axes))
+		rem := i
+		for j := len(axes) - 1; j >= 0; j-- {
+			ax := axes[j]
+			k := rem % ax.Points
+			rem /= ax.Points
+			if ax.Points == 1 {
+				pt[ax.Name] = (ax.Min + ax.Max) / 2
+			} else {
+				pt[ax.Name] = ax.Min + float64(k)*(ax.Max-ax.Min)/float64(ax.Points-1)
+			}
+		}
+		pts[i] = pt
+	}
+	return pts
+}
+
+// LHSPoints draws n seeded Latin-hypercube samples: each axis's range is
+// split into n equal strata, each stratum is hit exactly once, and the
+// stratum order is a seeded permutation with a seeded jitter inside each
+// stratum. The same seed yields the same sequence, bit for bit.
+func LHSPoints(axes []Axis, n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = make(Point, len(axes))
+	}
+	// Axis-by-axis draw order is part of the determinism contract.
+	for _, ax := range axes {
+		perm := rng.Perm(n)
+		width := (ax.Max - ax.Min) / float64(n)
+		for i := 0; i < n; i++ {
+			pts[i][ax.Name] = ax.Min + (float64(perm[i])+rng.Float64())*width
+		}
+	}
+	return pts
+}
+
+// RandomPoints draws n seeded uniform Monte-Carlo samples over the axis
+// box. The same seed yields the same sequence, bit for bit.
+func RandomPoints(axes []Axis, n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pt := make(Point, len(axes))
+		for _, ax := range axes {
+			pt[ax.Name] = ax.Min + rng.Float64()*(ax.Max-ax.Min)
+		}
+		pts[i] = pt
+	}
+	return pts
+}

@@ -1,0 +1,292 @@
+// Package explore is the scenario-space exploration engine: deterministic
+// samplers (full-factorial grid, seeded Latin hypercube, seeded Monte
+// Carlo) over a scengen family's parameter box, plus an adaptive
+// hazard-boundary search that bisects along one axis to locate the
+// accident/no-accident frontier to a requested tolerance. Probes execute
+// in batches through the experiments executor, so every probe reuses
+// long-lived platforms and — when a cache is attached — the
+// content-addressed result cache.
+//
+// Determinism contract: an exploration's Report is a pure function of its
+// normalized Spec. Sampled parameter sequences are fully determined by
+// the sampler seed, per-probe run seeds derive from the probe's resolved
+// parameters (not its schedule position), and batch results are ordered
+// by probe index — so the same spec yields byte-identical report
+// encodings regardless of executor shard count or cache warmth.
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/scengen"
+)
+
+// Exploration methods.
+const (
+	MethodGrid     = "grid"
+	MethodLHS      = "lhs"
+	MethodRandom   = "random"
+	MethodBoundary = "boundary"
+)
+
+// Sizing defaults and bounds.
+const (
+	// DefaultGridPoints is the per-axis grid resolution when unset.
+	DefaultGridPoints = 5
+	// DefaultSamples is the LHS/Monte-Carlo sample count when unset.
+	DefaultSamples = 16
+	// DefaultTolerance is the boundary-search axis tolerance when unset.
+	DefaultTolerance = 0.5
+	// DefaultMaxProbes bounds one boundary search when unset.
+	DefaultMaxProbes = 64
+	// MaxProbes bounds any exploration's total probe count so one
+	// request cannot monopolise the executor.
+	MaxProbes = 10000
+	// MaxSteps bounds a single probe's run length (mirrors the campaign
+	// service's per-run bound).
+	MaxSteps = 1000000
+)
+
+// Axis selects one family parameter to sweep and its range.
+type Axis struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// Points is the grid resolution on this axis (grid method only;
+	// normalization zeroes it elsewhere).
+	Points int `json:"points,omitempty"`
+}
+
+// BoundarySpec configures the hazard-boundary search: bisect along Axis
+// in [Min, Max] until the accident/no-accident frontier is bracketed to
+// within Tolerance.
+type BoundarySpec struct {
+	Axis string  `json:"axis"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// Tolerance is the final bracket width (axis units).
+	Tolerance float64 `json:"tolerance"`
+	// MaxProbes caps the search's run count.
+	MaxProbes int `json:"max_probes,omitempty"`
+}
+
+// Spec is a serializable exploration request. The json tags define the
+// stable wire format of the service's exploration API; Hash is the
+// SHA-256 content hash of the normalized form.
+type Spec struct {
+	// Family names the scengen scenario family to explore.
+	Family string `json:"family"`
+	// Method is one of grid, lhs, random, boundary. Empty defaults to
+	// boundary when Boundary is set, grid otherwise.
+	Method string `json:"method,omitempty"`
+	// Fixed pins family parameters to values for the whole exploration.
+	Fixed map[string]float64 `json:"fixed,omitempty"`
+	// Axes are the swept parameters. lhs/random require at least one;
+	// a grid with no axes is a single probe at the fixed parameters.
+	Axes []Axis `json:"axes,omitempty"`
+	// Samples is the LHS/Monte-Carlo sample count.
+	Samples int `json:"samples,omitempty"`
+	// Seed drives the lhs/random samplers.
+	Seed int64 `json:"seed,omitempty"`
+	// BaseSeed decorrelates the per-probe run seeds.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// Steps caps each probe's run length; zero means core.DefaultSteps.
+	Steps int `json:"steps,omitempty"`
+	// Fault configures the fault-injection engine for every probe.
+	Fault fi.Params `json:"fault"`
+	// Interventions selects the safety interventions for every probe.
+	// ML is rejected: trained weights do not travel in a spec.
+	Interventions core.InterventionSet `json:"interventions"`
+	// Boundary configures the boundary method.
+	Boundary *BoundarySpec `json:"boundary,omitempty"`
+}
+
+// Normalized returns the canonical form of the spec: method resolved,
+// sizing defaults filled in, and fields meaningless for the method
+// zeroed, so two specs describing the same exploration hash identically.
+func (s Spec) Normalized() Spec {
+	n := s
+	if n.Method == "" {
+		if n.Boundary != nil {
+			n.Method = MethodBoundary
+		} else {
+			n.Method = MethodGrid
+		}
+	}
+	if n.Steps == 0 {
+		n.Steps = core.DefaultSteps
+	}
+	switch n.Method {
+	case MethodGrid:
+		n.Axes = append([]Axis(nil), n.Axes...)
+		for i := range n.Axes {
+			if n.Axes[i].Points == 0 {
+				n.Axes[i].Points = DefaultGridPoints
+			}
+		}
+		n.Samples = 0
+		n.Seed = 0 // the grid ignores the sampler seed
+	case MethodLHS, MethodRandom:
+		n.Axes = append([]Axis(nil), n.Axes...)
+		for i := range n.Axes {
+			n.Axes[i].Points = 0
+		}
+		if n.Samples == 0 {
+			n.Samples = DefaultSamples
+		}
+	case MethodBoundary:
+		// Axes are kept (and rejected by Validate): silently dropping a
+		// conflicting sweep would mask a malformed request.
+		n.Samples = 0
+		n.Seed = 0
+		if n.Boundary != nil {
+			b := *n.Boundary
+			if b.Tolerance == 0 {
+				b.Tolerance = DefaultTolerance
+			}
+			if b.MaxProbes == 0 {
+				b.MaxProbes = DefaultMaxProbes
+			}
+			if b.Min == 0 && b.Max == 0 {
+				// Default to the family parameter's full range.
+				if f, ok := scengen.ByName(n.Family); ok {
+					if p, ok := f.Param(b.Axis); ok {
+						b.Min, b.Max = p.Min, p.Max
+					}
+				}
+			}
+			n.Boundary = &b
+		}
+	}
+	return n
+}
+
+// axisParam resolves and bounds-checks one swept axis against the family.
+func axisParam(f *scengen.Family, name string, min, max float64, fixed map[string]float64) error {
+	p, ok := f.Param(name)
+	if !ok {
+		return fmt.Errorf("explore: family %s has no parameter %q", f.Name, name)
+	}
+	if _, pinned := fixed[name]; pinned {
+		return fmt.Errorf("explore: parameter %q is both fixed and swept", name)
+	}
+	for _, v := range []float64{min, max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("explore: axis %q bounds must be finite", name)
+		}
+	}
+	if !(min < max) {
+		return fmt.Errorf("explore: axis %q needs min < max, got [%v, %v]", name, min, max)
+	}
+	if min < p.Min || max > p.Max {
+		return fmt.Errorf("explore: axis %q range [%v, %v] outside the family box [%v, %v]",
+			name, min, max, p.Min, p.Max)
+	}
+	return nil
+}
+
+// Validate rejects unusable specs. It expects the normalized form.
+func (s Spec) Validate() error {
+	f, ok := scengen.ByName(s.Family)
+	if !ok {
+		return fmt.Errorf("explore: unknown family %q", s.Family)
+	}
+	if s.Steps < 1 || s.Steps > MaxSteps {
+		return fmt.Errorf("explore: steps must be in [1, %d], got %d", MaxSteps, s.Steps)
+	}
+	for name, v := range s.Fixed {
+		p, ok := f.Param(name)
+		if !ok {
+			return fmt.Errorf("explore: family %s has no parameter %q", s.Family, name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("explore: fixed %q must be finite", name)
+		}
+		if v < p.Min || v > p.Max {
+			return fmt.Errorf("explore: fixed %q = %v outside [%v, %v]", name, v, p.Min, p.Max)
+		}
+	}
+	seen := map[string]bool{}
+	for _, ax := range s.Axes {
+		if seen[ax.Name] {
+			return fmt.Errorf("explore: duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		if err := axisParam(f, ax.Name, ax.Min, ax.Max, s.Fixed); err != nil {
+			return err
+		}
+	}
+	switch s.Method {
+	case MethodGrid:
+		total := 1
+		for _, ax := range s.Axes {
+			if ax.Points < 1 || ax.Points > MaxProbes {
+				return fmt.Errorf("explore: axis %q points must be in [1, %d]", ax.Name, MaxProbes)
+			}
+			if total > MaxProbes/ax.Points {
+				return fmt.Errorf("explore: grid expands past %d probes", MaxProbes)
+			}
+			total *= ax.Points
+		}
+	case MethodLHS, MethodRandom:
+		if len(s.Axes) == 0 {
+			// Without axes every sample is the same point; Samples
+			// identical full runs would be silent waste.
+			return fmt.Errorf("explore: %s needs at least one axis", s.Method)
+		}
+		if s.Samples < 1 || s.Samples > MaxProbes {
+			return fmt.Errorf("explore: samples must be in [1, %d], got %d", MaxProbes, s.Samples)
+		}
+	case MethodBoundary:
+		b := s.Boundary
+		if b == nil {
+			return fmt.Errorf("explore: boundary method needs a boundary spec")
+		}
+		if len(s.Axes) > 0 {
+			return fmt.Errorf("explore: boundary method takes no axes (use fixed + boundary.axis)")
+		}
+		if err := axisParam(f, b.Axis, b.Min, b.Max, s.Fixed); err != nil {
+			return err
+		}
+		if !(b.Tolerance > 0) || math.IsInf(b.Tolerance, 0) {
+			return fmt.Errorf("explore: boundary tolerance must be positive and finite")
+		}
+		if b.MaxProbes < 3 || b.MaxProbes > MaxProbes {
+			return fmt.Errorf("explore: boundary max_probes must be in [3, %d]", MaxProbes)
+		}
+	default:
+		return fmt.Errorf("explore: unknown method %q", s.Method)
+	}
+	if s.Fault.Target < fi.TargetNone || s.Fault.Target > fi.TargetMixed {
+		return fmt.Errorf("explore: unsupported fault target %d", int(s.Fault.Target))
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
+	}
+	for _, v := range []float64{s.Fault.CurvatureOffset, s.Fault.CurvatureDuration, s.Fault.CurvatureRamp} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return fmt.Errorf("explore: fault parameters must be finite")
+		}
+	}
+	if s.Interventions.ML || s.Interventions.MLNet != nil {
+		return fmt.Errorf("explore: the ML intervention is not supported in exploration specs (trained weights are not part of a spec)")
+	}
+	return nil
+}
+
+// Hash returns the canonical content hash of the normalized spec: the
+// SHA-256 of its stable JSON encoding. It expects the normalized form.
+func (s Spec) Hash() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("explore: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

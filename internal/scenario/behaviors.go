@@ -20,10 +20,11 @@ const (
 	TriggerEgoGapBelow
 )
 
-// Trigger describes when a behaviour phase change happens.
+// Trigger describes when a behaviour phase change happens. The json tags
+// define the stable wire format used inside generated scenario specs.
 type Trigger struct {
-	Kind  TriggerKind
-	Value float64
+	Kind  TriggerKind `json:"kind"`
+	Value float64     `json:"value"`
 }
 
 // fired reports whether the trigger condition holds.
@@ -96,21 +97,89 @@ func (b *LeadBehavior) Command(t float64, self vehicle.State, w *world.World) ve
 			if dur <= 0 {
 				dur = 3
 			}
-			frac := units.Clamp((t-b.laneFiredAt)/dur, 0, 1)
-			// Smoothstep for a comfortable lane change.
-			frac = frac * frac * (3 - 2*frac)
+			frac := laneChangeFrac(t-b.laneFiredAt, dur)
 			latTarget = b.InitialLaneOffset + frac*(b.TargetLaneOffset-b.InitialLaneOffset)
 		}
 	}
-	kappa := b.trackOffset(self, w, latTarget)
+	kappa := trackOffset(self, w, latTarget)
 	return vehicle.Command{Accel: accel, Curvature: kappa}
+}
+
+// laneChangeFrac maps elapsed lane-change time to a smoothstep completion
+// fraction for a comfortable lane change.
+func laneChangeFrac(elapsed, dur float64) float64 {
+	frac := units.Clamp(elapsed/dur, 0, 1)
+	return frac * frac * (3 - 2*frac)
 }
 
 // trackOffset returns the curvature command to follow the road at lateral
 // offset target.
-func (b *LeadBehavior) trackOffset(self vehicle.State, w *world.World, target float64) float64 {
+func trackOffset(self vehicle.State, w *world.World, target float64) float64 {
 	look := math.Max(8, self.V*0.8)
 	latErr := (target - self.D) - look*math.Sin(self.Psi)
 	kappa := w.Road().CurvatureAt(self.S) + 2*latErr/(look*look)
 	return units.Clamp(kappa, -0.2, 0.2)
+}
+
+// GenBehavior realises a BehaviorSpec: a piecewise longitudinal profile
+// whose segments arm in order, plus at most one lane change. It is the
+// controller behind generated scenarios and implements world.Controller
+// with the same control laws as the scripted LeadBehavior.
+type GenBehavior struct {
+	// Spec is the serializable behaviour description.
+	Spec BehaviorSpec
+	// InitialLaneOffset is the starting lateral target (m), from the
+	// actor's placement.
+	InitialLaneOffset float64
+
+	active      int // index of the last fired segment; -1 before any
+	laneFiredAt float64
+}
+
+var _ world.Controller = (*GenBehavior)(nil)
+
+// NewGenBehavior builds the controller for one generated actor.
+func NewGenBehavior(spec BehaviorSpec, initialLaneOffset float64) *GenBehavior {
+	return &GenBehavior{Spec: spec, InitialLaneOffset: initialLaneOffset, active: -1}
+}
+
+// Command implements world.Controller.
+func (b *GenBehavior) Command(t float64, self vehicle.State, w *world.World) vehicle.Command {
+	segs := b.Spec.Segments
+	for b.active+1 < len(segs) && segs[b.active+1].Trigger.fired(t, self, w) {
+		b.active++
+	}
+	target, prev := b.Spec.InitialSpeed, b.Spec.InitialSpeed
+	maxBrake := 2.5
+	if b.active >= 0 {
+		seg := segs[b.active]
+		target = seg.Speed
+		if seg.Decel > 0 {
+			maxBrake = seg.Decel
+		}
+		if b.active > 0 {
+			prev = segs[b.active-1].Speed
+		}
+	}
+	accel := 0.8 * (target - self.V)
+	if b.active >= 0 && target < prev && self.V > target+0.2 {
+		accel = -maxBrake // scripted hard braking phase
+	}
+	accel = units.Clamp(accel, -maxBrake, 2.0)
+
+	latTarget := b.InitialLaneOffset
+	if b.Spec.LaneTrigger.Kind != 0 {
+		if b.laneFiredAt == 0 && b.Spec.LaneTrigger.fired(t, self, w) {
+			b.laneFiredAt = math.Max(t, 1e-9)
+		}
+		if b.laneFiredAt > 0 {
+			dur := b.Spec.LaneChangeTime
+			if dur <= 0 {
+				dur = 3
+			}
+			frac := laneChangeFrac(t-b.laneFiredAt, dur)
+			latTarget = b.InitialLaneOffset + frac*(b.Spec.TargetLaneOffset-b.InitialLaneOffset)
+		}
+	}
+	return vehicle.Command{Accel: accel, Curvature: trackOffset(self, w, latTarget)}
 }

@@ -54,6 +54,21 @@ func Build(spec Spec, r *road.Road, params vehicle.Params, rng *rand.Rand) (*Set
 		return nil
 	}
 
+	if spec.Generated != nil {
+		// Generated scenarios share the scripted path's jitter draws (one
+		// gap draw, one speed draw) so a generated spec's determinism
+		// contract is identical to a catalogue scenario's.
+		for _, a := range spec.Generated.Actors {
+			err = addActor(a.Name,
+				vehicle.State{S: egoStartS + a.Gap + gapJitter + params.Length, D: a.LaneOffset, V: a.Speed},
+				NewGenBehavior(a.Behavior, a.LaneOffset))
+			if err != nil {
+				return nil, err
+			}
+		}
+		return setup, nil
+	}
+
 	switch spec.ID {
 	case S1:
 		err = addActor("lead", vehicle.State{S: leadS, V: mph30},

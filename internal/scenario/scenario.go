@@ -5,6 +5,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"adasim/internal/units"
 )
@@ -25,8 +26,11 @@ const (
 // All returns the scenarios in order.
 func All() []ID { return []ID{S1, S2, S3, S4, S5, S6} }
 
-// String returns the scenario name (S1..S6).
+// String returns the scenario name (S1..S6, or GEN for generated specs).
 func (id ID) String() string {
+	if id == IDGenerated {
+		return "GEN"
+	}
 	if id < S1 || id > S6 {
 		return "unknown"
 	}
@@ -65,6 +69,11 @@ type Spec struct {
 	InitialGap float64 `json:"initial_gap"`
 	// SpeedLimit is the posted limit used by the driver model (m/s).
 	SpeedLimit float64 `json:"speed_limit"`
+	// Generated, when non-nil, replaces the scripted behaviour: Build
+	// instantiates this actor list instead of the S1..S6 switch. ID must
+	// be IDGenerated. Generated specs travel in exploration wire formats
+	// and result-cache fingerprints exactly like scripted ones.
+	Generated *GenSpec `json:"generated,omitempty"`
 }
 
 // DefaultSpec returns the paper-parameterised spec for a scenario at one
@@ -81,16 +90,28 @@ func DefaultSpec(id ID, initialGap float64) Spec {
 // InitialGaps returns the two initial distances evaluated by the paper.
 func InitialGaps() []float64 { return []float64{60, 230} }
 
-// Validate reports whether the spec is usable.
+// Validate reports whether the spec is usable. Non-finite fields are
+// rejected: NaN compares false against everything and +Inf passes naive
+// sign checks, and either would poison the simulation state downstream.
 func (s Spec) Validate() error {
-	if s.ID < S1 || s.ID > S6 {
+	if s.Generated != nil {
+		if s.ID != IDGenerated {
+			return fmt.Errorf("scenario: generated spec must use IDGenerated, got %d", int(s.ID))
+		}
+		if err := s.Generated.Validate(); err != nil {
+			return err
+		}
+	} else if s.ID < S1 || s.ID > S6 {
 		return fmt.Errorf("scenario: unknown id %d", int(s.ID))
 	}
-	if s.EgoSpeed <= 0 {
-		return fmt.Errorf("scenario: EgoSpeed must be positive")
+	if !(s.EgoSpeed > 0) || math.IsInf(s.EgoSpeed, 0) {
+		return fmt.Errorf("scenario: EgoSpeed must be positive and finite, got %v", s.EgoSpeed)
 	}
-	if s.InitialGap <= 0 {
-		return fmt.Errorf("scenario: InitialGap must be positive")
+	if !(s.InitialGap > 0) || math.IsInf(s.InitialGap, 0) {
+		return fmt.Errorf("scenario: InitialGap must be positive and finite, got %v", s.InitialGap)
+	}
+	if !(s.SpeedLimit >= 0) || math.IsInf(s.SpeedLimit, 0) {
+		return fmt.Errorf("scenario: SpeedLimit must be non-negative and finite, got %v", s.SpeedLimit)
 	}
 	return nil
 }

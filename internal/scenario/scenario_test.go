@@ -61,6 +61,15 @@ func TestSpecValidation(t *testing.T) {
 		"negative speed": {ID: S1, EgoSpeed: -5, InitialGap: 60},
 		"zero gap":       {ID: S1, EgoSpeed: 20, InitialGap: 0},
 		"negative gap":   {ID: S1, EgoSpeed: 20, InitialGap: -60},
+		// Non-finite fields: NaN compares false against <= 0 and +Inf is
+		// "positive", so naive sign checks accept both.
+		"nan speed":      {ID: S1, EgoSpeed: math.NaN(), InitialGap: 60},
+		"inf speed":      {ID: S1, EgoSpeed: math.Inf(1), InitialGap: 60},
+		"nan gap":        {ID: S1, EgoSpeed: 20, InitialGap: math.NaN()},
+		"inf gap":        {ID: S1, EgoSpeed: 20, InitialGap: math.Inf(1)},
+		"nan limit":      {ID: S1, EgoSpeed: 20, InitialGap: 60, SpeedLimit: math.NaN()},
+		"inf limit":      {ID: S1, EgoSpeed: 20, InitialGap: 60, SpeedLimit: math.Inf(1)},
+		"negative limit": {ID: S1, EgoSpeed: 20, InitialGap: 60, SpeedLimit: -1},
 	}
 	for name, s := range bad {
 		if err := s.Validate(); err == nil {

@@ -1,0 +1,291 @@
+// Package scengen defines parametric scenario families: generators that
+// generalise the paper's six scripted NHTSA pre-crash behaviours into
+// continuous, typed parameter spaces. A family deterministically
+// instantiates a parameter assignment into a generated scenario.Spec
+// (plus the weather/friction axis), which plugs into core.Options exactly
+// like a catalogue scenario — the exploration engine (internal/explore)
+// sweeps and searches these spaces at campaign scale.
+package scengen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adasim/internal/road"
+	"adasim/internal/scenario"
+	"adasim/internal/units"
+)
+
+// Param describes one axis of a family's parameter space. The json tags
+// define the wire format of the service's extended scenario catalogue.
+type Param struct {
+	Name    string  `json:"name"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Default float64 `json:"default"`
+	Unit    string  `json:"unit,omitempty"`
+	// Integer marks a count-valued axis; sampled values are rounded to
+	// the nearest integer at instantiation.
+	Integer     bool   `json:"integer,omitempty"`
+	Description string `json:"description,omitempty"`
+}
+
+// Family is a parametric scenario generator: a named, typed parameter box
+// and a deterministic build function over it.
+type Family struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Params      []Param `json:"params"`
+
+	build func(p map[string]float64) (Instance, error)
+}
+
+// Instance is one fully instantiated member of a family: a generated
+// scenario spec plus the friction (weather) axis, which lives on
+// core.Options rather than the scenario.
+type Instance struct {
+	Scenario      scenario.Spec `json:"scenario"`
+	FrictionScale float64       `json:"friction_scale"`
+}
+
+// Param returns the named parameter's spec.
+func (f *Family) Param(name string) (Param, bool) {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// Resolve canonicalises a parameter assignment against the family's
+// space: defaults fill in missing parameters, unknown names, non-finite
+// values, and out-of-bounds values are rejected, and integer axes are
+// rounded. Two assignments describing the same member of the family —
+// with or without explicitly spelling out defaults, with 3.6 or 4 leads
+// — resolve to an identical map, so downstream content-derived
+// identities (run seeds, cache keys) coincide on purpose.
+func (f *Family) Resolve(params map[string]float64) (map[string]float64, error) {
+	resolved := make(map[string]float64, len(f.Params))
+	for _, p := range f.Params {
+		resolved[p.Name] = p.Default
+	}
+	// Iterate in sorted order so the first error is deterministic too.
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := params[name]
+		p, ok := f.Param(name)
+		if !ok {
+			return nil, fmt.Errorf("scengen: family %s has no parameter %q", f.Name, name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("scengen: %s.%s must be finite, got %v", f.Name, name, v)
+		}
+		if p.Integer {
+			v = math.Round(v)
+		}
+		if v < p.Min || v > p.Max {
+			return nil, fmt.Errorf("scengen: %s.%s = %v outside [%v, %v]", f.Name, name, v, p.Min, p.Max)
+		}
+		resolved[name] = v
+	}
+	return resolved, nil
+}
+
+// Instantiate resolves the parameter assignment (see Resolve) and builds
+// the scenario. Instantiation is deterministic: the same assignment
+// always yields a deeply equal Instance.
+func (f *Family) Instantiate(params map[string]float64) (Instance, error) {
+	resolved, err := f.Resolve(params)
+	if err != nil {
+		return Instance{}, err
+	}
+	inst, err := f.build(resolved)
+	if err != nil {
+		return Instance{}, err
+	}
+	if err := inst.Scenario.Validate(); err != nil {
+		return Instance{}, fmt.Errorf("scengen: %s instantiated an invalid scenario: %w", f.Name, err)
+	}
+	return inst, nil
+}
+
+// The families' shared axes.
+var (
+	mph30 = units.MPHToMS(30)
+	mph50 = units.MPHToMS(50)
+)
+
+func sharedParams() []Param {
+	return []Param{
+		{Name: "ego_speed", Min: 5, Max: 45, Default: mph50, Unit: "m/s",
+			Description: "ego initial/cruise speed (also the posted limit)"},
+		{Name: "initial_gap", Min: 10, Max: 300, Default: 60, Unit: "m",
+			Description: "initial bumper-to-bumper gap to the nearest lead"},
+		{Name: "friction_scale", Min: 0.1, Max: 1, Default: 1, Unit: "",
+			Description: "road friction multiplier (1 = dry, lower = weather)"},
+	}
+}
+
+// baseSpec assembles the shared scenario fields of every family.
+func baseSpec(p map[string]float64, gen *scenario.GenSpec) scenario.Spec {
+	return scenario.Spec{
+		ID:         scenario.IDGenerated,
+		EgoSpeed:   p["ego_speed"],
+		InitialGap: p["initial_gap"],
+		SpeedLimit: p["ego_speed"],
+		Generated:  gen,
+	}
+}
+
+// families is the registry, in catalogue order.
+var families = []*Family{leadProfileFamily(), cutInFamily(), convoyFamily()}
+
+// Families returns the family catalogue in stable order. Callers must
+// not mutate the returned slice or the families.
+func Families() []*Family { return families }
+
+// ByName looks a family up by its catalogue name.
+func ByName(name string) (*Family, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// leadProfileFamily generalises S1-S4: a single lead driving a piecewise
+// cruise/accelerate/brake profile with an optional timed mid-phase and a
+// gap-triggered final phase.
+func leadProfileFamily() *Family {
+	f := &Family{
+		Name: "lead-profile",
+		Description: "single lead with a piecewise speed profile: cruise, optional " +
+			"timed phase-2 speed change, then a gap-triggered final speed " +
+			"(generalises S1-S4; target_speed 0 with high decel is the S4 sudden stop)",
+		Params: append(sharedParams(),
+			Param{Name: "lead_speed", Min: 0, Max: 40, Default: mph30, Unit: "m/s",
+				Description: "lead initial cruise speed"},
+			Param{Name: "phase2_speed", Min: 0, Max: 40, Default: mph30, Unit: "m/s",
+				Description: "speed adopted at phase2_time"},
+			Param{Name: "phase2_time", Min: 0, Max: 100, Default: 0, Unit: "s",
+				Description: "when the timed phase starts (0 disables it)"},
+			Param{Name: "target_speed", Min: 0, Max: 40, Default: mph30, Unit: "m/s",
+				Description: "final speed adopted when the ego gap drops below trigger_gap"},
+			Param{Name: "trigger_gap", Min: 5, Max: 200, Default: 45, Unit: "m",
+				Description: "ego gap that triggers the final speed change"},
+			Param{Name: "decel", Min: 0.5, Max: 9, Default: 2.5, Unit: "m/s^2",
+				Description: "braking limit used to reach a lower target"},
+		),
+	}
+	f.build = func(p map[string]float64) (Instance, error) {
+		behavior := scenario.BehaviorSpec{InitialSpeed: p["lead_speed"]}
+		if p["phase2_time"] > 0 {
+			behavior.Segments = append(behavior.Segments, scenario.SpeedSegment{
+				Trigger: scenario.Trigger{Kind: scenario.TriggerAtTime, Value: p["phase2_time"]},
+				Speed:   p["phase2_speed"],
+				Decel:   p["decel"],
+			})
+		}
+		behavior.Segments = append(behavior.Segments, scenario.SpeedSegment{
+			Trigger: scenario.Trigger{Kind: scenario.TriggerEgoGapBelow, Value: p["trigger_gap"]},
+			Speed:   p["target_speed"],
+			Decel:   p["decel"],
+		})
+		gen := &scenario.GenSpec{Actors: []scenario.ActorSpec{{
+			Name: "lead", Gap: p["initial_gap"], Speed: p["lead_speed"], Behavior: behavior,
+		}}}
+		return Instance{Scenario: baseSpec(p, gen), FrictionScale: p["friction_scale"]}, nil
+	}
+	return f
+}
+
+// cutInFamily generalises S5: a cruising lead plus a vehicle in an
+// adjacent lane that merges into the ego lane when the ego closes in.
+func cutInFamily() *Family {
+	f := &Family{
+		Name: "cut-in",
+		Description: "lead cruises while an adjacent-lane vehicle cuts into the ego " +
+			"lane when the ego gap drops below trigger_gap (generalises S5)",
+		Params: append(sharedParams(),
+			Param{Name: "lead_speed", Min: 0, Max: 40, Default: mph30, Unit: "m/s",
+				Description: "lead cruise speed"},
+			Param{Name: "cutin_gap", Min: 5, Max: 250, Default: 38, Unit: "m",
+				Description: "initial ego gap to the cut-in vehicle"},
+			Param{Name: "cutin_speed", Min: 0, Max: 40, Default: mph30, Unit: "m/s",
+				Description: "cut-in vehicle cruise speed"},
+			Param{Name: "trigger_gap", Min: 5, Max: 120, Default: 30, Unit: "m",
+				Description: "ego gap to the cut-in vehicle that starts the merge"},
+			Param{Name: "lane_change_time", Min: 0.5, Max: 10, Default: 3, Unit: "s",
+				Description: "merge duration"},
+			Param{Name: "lateral_offset", Min: 2.5, Max: 8, Default: road.DefaultLaneWidth, Unit: "m",
+				Description: "cut-in vehicle's initial lateral offset (one lane width = adjacent lane)"},
+		),
+	}
+	f.build = func(p map[string]float64) (Instance, error) {
+		gen := &scenario.GenSpec{Actors: []scenario.ActorSpec{
+			{Name: "lead", Gap: p["initial_gap"], Speed: p["lead_speed"],
+				Behavior: scenario.BehaviorSpec{InitialSpeed: p["lead_speed"]}},
+			{Name: "cutin", Gap: p["cutin_gap"], LaneOffset: p["lateral_offset"], Speed: p["cutin_speed"],
+				Behavior: scenario.BehaviorSpec{
+					InitialSpeed:     p["cutin_speed"],
+					LaneTrigger:      scenario.Trigger{Kind: scenario.TriggerEgoGapBelow, Value: p["trigger_gap"]},
+					TargetLaneOffset: 0,
+					LaneChangeTime:   p["lane_change_time"],
+				}},
+		}}
+		return Instance{Scenario: baseSpec(p, gen), FrictionScale: p["friction_scale"]}, nil
+	}
+	return f
+}
+
+// convoyFamily generalises S6's multi-vehicle setting: a convoy of N
+// leads at per-actor gaps, with an optional chain-braking hazard when the
+// front-most lead stops.
+func convoyFamily() *Family {
+	f := &Family{
+		Name: "convoy",
+		Description: "N leads at per-actor gaps; optionally the front-most lead " +
+			"brakes to a stop when the ego closes in, propagating a chain hazard",
+		Params: append(sharedParams(),
+			Param{Name: "n_leads", Min: 1, Max: float64(scenario.MaxGeneratedActors), Default: 3,
+				Integer: true, Description: "number of lead vehicles"},
+			Param{Name: "lead_speed", Min: 0, Max: 40, Default: mph30, Unit: "m/s",
+				Description: "convoy cruise speed"},
+			Param{Name: "spacing", Min: 5, Max: 100, Default: 35, Unit: "m",
+				Description: "additional ego gap per successive lead"},
+			Param{Name: "front_stop_gap", Min: 0, Max: 200, Default: 0, Unit: "m",
+				Description: "ego gap to the front lead that triggers its full stop (0 disables)"},
+			Param{Name: "front_decel", Min: 0.5, Max: 9, Default: 7, Unit: "m/s^2",
+				Description: "front lead's braking limit during the stop"},
+		),
+	}
+	f.build = func(p map[string]float64) (Instance, error) {
+		n := int(p["n_leads"])
+		gen := &scenario.GenSpec{}
+		for i := 0; i < n; i++ {
+			behavior := scenario.BehaviorSpec{InitialSpeed: p["lead_speed"]}
+			if i == n-1 && p["front_stop_gap"] > 0 {
+				behavior.Segments = []scenario.SpeedSegment{{
+					Trigger: scenario.Trigger{Kind: scenario.TriggerEgoGapBelow, Value: p["front_stop_gap"]},
+					Speed:   0,
+					Decel:   p["front_decel"],
+				}}
+			}
+			gen.Actors = append(gen.Actors, scenario.ActorSpec{
+				Name:     fmt.Sprintf("lead%d", i+1),
+				Gap:      p["initial_gap"] + float64(i)*p["spacing"],
+				Speed:    p["lead_speed"],
+				Behavior: behavior,
+			})
+		}
+		return Instance{Scenario: baseSpec(p, gen), FrictionScale: p["friction_scale"]}, nil
+	}
+	return f
+}

@@ -1,0 +1,175 @@
+package scengen
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"adasim/internal/core"
+	"adasim/internal/scenario"
+)
+
+func TestCatalogue(t *testing.T) {
+	fams := Families()
+	if len(fams) != 3 {
+		t.Fatalf("family count = %d, want 3", len(fams))
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		if f.Name == "" || f.Description == "" || len(f.Params) == 0 {
+			t.Errorf("family %+v incomplete", f)
+		}
+		if names[f.Name] {
+			t.Errorf("duplicate family name %q", f.Name)
+		}
+		names[f.Name] = true
+		for _, p := range f.Params {
+			if !(p.Min < p.Max) {
+				t.Errorf("%s.%s: bad bounds [%v, %v]", f.Name, p.Name, p.Min, p.Max)
+			}
+			if p.Default < p.Min || p.Default > p.Max {
+				t.Errorf("%s.%s: default %v outside [%v, %v]", f.Name, p.Name, p.Default, p.Min, p.Max)
+			}
+		}
+		got, ok := ByName(f.Name)
+		if !ok || got != f {
+			t.Errorf("ByName(%q) = %v, %v", f.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted an unknown family")
+	}
+}
+
+// TestDefaultsInstantiateAndRun instantiates every family at its defaults
+// and runs it through the closed-loop platform: generated scenarios must
+// be first-class core workloads, not a parallel path.
+func TestDefaultsInstantiateAndRun(t *testing.T) {
+	for _, f := range Families() {
+		inst, err := f.Instantiate(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if inst.FrictionScale != 1 {
+			t.Errorf("%s: default friction = %v, want 1", f.Name, inst.FrictionScale)
+		}
+		res, err := core.Run(core.Options{
+			Scenario:      inst.Scenario,
+			FrictionScale: inst.FrictionScale,
+			Seed:          1,
+			Steps:         300,
+		})
+		if err != nil {
+			t.Fatalf("%s: run: %v", f.Name, err)
+		}
+		if res.Outcome.Steps == 0 {
+			t.Errorf("%s: run did not step", f.Name)
+		}
+	}
+}
+
+func TestInstantiateValidation(t *testing.T) {
+	f, _ := ByName("cut-in")
+	cases := map[string]map[string]float64{
+		"unknown param": {"warp_factor": 9},
+		"nan":           {"trigger_gap": math.NaN()},
+		"+inf":          {"trigger_gap": math.Inf(1)},
+		"-inf":          {"trigger_gap": math.Inf(-1)},
+		"below min":     {"trigger_gap": 1},
+		"above max":     {"trigger_gap": 1000},
+	}
+	for name, params := range cases {
+		if _, err := f.Instantiate(params); err == nil {
+			t.Errorf("%s: Instantiate accepted %v", name, params)
+		}
+	}
+}
+
+func TestInstantiateDeterministic(t *testing.T) {
+	f, _ := ByName("lead-profile")
+	params := map[string]float64{"trigger_gap": 62, "target_speed": 0, "decel": 7, "phase2_time": 4}
+	a, err := f.Instantiate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Instantiate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("repeated instantiation differs")
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Error("repeated instantiation encodes differently")
+	}
+	// The S4-like parameterisation: one timed segment plus the stop.
+	segs := a.Scenario.Generated.Actors[0].Behavior.Segments
+	if len(segs) != 2 || segs[1].Speed != 0 || segs[1].Decel != 7 {
+		t.Errorf("segments = %+v", segs)
+	}
+}
+
+func TestConvoyIntegerRounding(t *testing.T) {
+	f, _ := ByName("convoy")
+	inst, err := f.Instantiate(map[string]float64{"n_leads": 3.6, "front_stop_gap": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actors := inst.Scenario.Generated.Actors
+	if len(actors) != 4 {
+		t.Fatalf("n_leads 3.6 built %d actors, want 4", len(actors))
+	}
+	// Per-actor gaps step by spacing; only the front-most lead brakes.
+	for i := 1; i < len(actors); i++ {
+		if actors[i].Gap <= actors[i-1].Gap {
+			t.Errorf("convoy gaps not increasing: %v", actors)
+		}
+		hasStop := len(actors[i].Behavior.Segments) > 0
+		if wantStop := i == len(actors)-1; hasStop != wantStop {
+			t.Errorf("actor %d stop segment = %v, want %v", i, hasStop, wantStop)
+		}
+	}
+}
+
+func TestFamilyJSONCatalogueShape(t *testing.T) {
+	b, err := json.Marshal(Families())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range decoded {
+		for _, key := range []string{"name", "description", "params"} {
+			if _, ok := fam[key]; !ok {
+				t.Errorf("catalogue entry missing %q: %v", key, fam)
+			}
+		}
+	}
+}
+
+// TestCutInMatchesScriptedShape sanity-checks the family against the S5
+// geometry it generalises: defaults place the cut-in vehicle between ego
+// and lead, one lane over.
+func TestCutInMatchesScriptedShape(t *testing.T) {
+	f, _ := ByName("cut-in")
+	inst, err := f.Instantiate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actors := inst.Scenario.Generated.Actors
+	if len(actors) != 2 {
+		t.Fatalf("actors = %+v", actors)
+	}
+	lead, cutin := actors[0], actors[1]
+	if cutin.Gap >= lead.Gap {
+		t.Errorf("cut-in (gap %v) should start closer than the lead (gap %v)", cutin.Gap, lead.Gap)
+	}
+	if cutin.LaneOffset == 0 || cutin.Behavior.LaneTrigger.Kind != scenario.TriggerEgoGapBelow {
+		t.Errorf("cut-in actor = %+v", cutin)
+	}
+}

@@ -116,7 +116,10 @@ type Dispatcher struct {
 	order []string // job IDs in submission order, for retention eviction
 	seq   int
 
-	jobCh  chan *job
+	expls     map[string]*exploration
+	explOrder []string // exploration IDs in submission order
+
+	jobCh  chan queueItem
 	taskCh chan runTask
 
 	draining  bool
@@ -137,7 +140,8 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 		cfg:       cfg,
 		cache:     cache,
 		jobs:      make(map[string]*job),
-		jobCh:     make(chan *job, cfg.QueueSize),
+		expls:     make(map[string]*exploration),
+		jobCh:     make(chan queueItem, cfg.QueueSize),
 		taskCh:    make(chan runTask),
 		schedDone: make(chan struct{}),
 	}
@@ -301,11 +305,19 @@ func (d *Dispatcher) viewLocked(j *job) JobView {
 	}
 }
 
-// scheduler executes queued jobs strictly in FIFO order.
+// queueItem is one unit of FIFO-scheduled work: a campaign job or an
+// exploration. Both share the queue, the worker shards, and the cache.
+type queueItem interface {
+	execute(d *Dispatcher)
+}
+
+func (j *job) execute(d *Dispatcher) { d.executeJob(j) }
+
+// scheduler executes queued work strictly in FIFO order.
 func (d *Dispatcher) scheduler() {
 	defer close(d.schedDone)
-	for j := range d.jobCh {
-		d.execute(j)
+	for item := range d.jobCh {
+		item.execute(d)
 	}
 }
 
@@ -319,10 +331,10 @@ type runTask struct {
 	note func()
 }
 
-// execute resolves a job: cached runs short-circuit, the rest fan out
+// executeJob resolves a job: cached runs short-circuit, the rest fan out
 // over the worker shards, and fresh outcomes are written back to the
 // cache.
-func (d *Dispatcher) execute(j *job) {
+func (d *Dispatcher) executeJob(j *job) {
 	now := time.Now().UTC()
 	d.mu.Lock()
 	j.status = StatusRunning
@@ -391,26 +403,38 @@ func (d *Dispatcher) execute(j *job) {
 // bounded by the record cap rather than its submission history. Queued
 // and running jobs are never evicted. d.mu must be held.
 func (d *Dispatcher) pruneLocked() {
-	finished := 0
-	for _, j := range d.jobs {
-		if j.status == StatusDone || j.status == StatusFailed {
-			finished++
+	d.order = pruneFinished(d.order, d.cfg.MaxJobRecords,
+		func(id string) bool {
+			j := d.jobs[id]
+			return j.status == StatusDone || j.status == StatusFailed
+		},
+		func(id string) { delete(d.jobs, id) })
+}
+
+// pruneFinished is the shared retention policy of jobs and explorations:
+// once more than max records are finished, the oldest finished ones (in
+// submission order) are evicted until the cap holds. It returns the kept
+// order; unfinished records are never evicted.
+func pruneFinished(order []string, max int, finished func(id string) bool, evict func(id string)) []string {
+	n := 0
+	for _, id := range order {
+		if finished(id) {
+			n++
 		}
 	}
-	if finished <= d.cfg.MaxJobRecords {
-		return
+	if n <= max {
+		return order
 	}
-	kept := d.order[:0]
-	for _, id := range d.order {
-		j := d.jobs[id]
-		if finished > d.cfg.MaxJobRecords && (j.status == StatusDone || j.status == StatusFailed) {
-			delete(d.jobs, id)
-			finished--
+	kept := order[:0]
+	for _, id := range order {
+		if n > max && finished(id) {
+			evict(id)
+			n--
 			continue
 		}
 		kept = append(kept, id)
 	}
-	d.order = kept
+	return kept
 }
 
 // worker is one pool shard: a goroutine owning one experiments.Runner

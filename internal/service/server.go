@@ -7,17 +7,22 @@ import (
 	"net/http"
 
 	"adasim/internal/experiments"
+	"adasim/internal/explore"
 	"adasim/internal/metrics"
 	"adasim/internal/scenario"
+	"adasim/internal/scengen"
 )
 
 // Server exposes the dispatcher over HTTP/JSON:
 //
-//	POST /v1/jobs               submit a JobSpec            -> 202 JobView
-//	GET  /v1/jobs/{id}          job status and progress     -> 200 JobView
-//	GET  /v1/jobs/{id}/results  results of a finished job   -> 200 ResultsResponse
-//	GET  /v1/scenarios          the scenario catalogue      -> 200
-//	GET  /healthz               liveness, pool + cache view -> 200
+//	POST /v1/jobs                       submit a JobSpec              -> 202 JobView
+//	GET  /v1/jobs/{id}                  job status and progress       -> 200 JobView
+//	GET  /v1/jobs/{id}/results          results of a finished job     -> 200 ResultsResponse
+//	POST /v1/explorations               submit an explore.Spec        -> 202 ExplorationView
+//	GET  /v1/explorations/{id}          exploration status/progress   -> 200 ExplorationView
+//	GET  /v1/explorations/{id}/results  report of a finished search   -> 200 explore.Report
+//	GET  /v1/scenarios                  scenarios + family catalogue  -> 200
+//	GET  /healthz                       liveness, pool + cache view   -> 200
 type Server struct {
 	d   *Dispatcher
 	mux *http.ServeMux
@@ -29,6 +34,9 @@ func NewServer(d *Dispatcher) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /v1/explorations", s.handleSubmitExploration)
+	s.mux.HandleFunc("GET /v1/explorations/{id}", s.handleExploration)
+	s.mux.HandleFunc("GET /v1/explorations/{id}/results", s.handleExplorationResults)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -54,20 +62,23 @@ type ScenarioInfo struct {
 	Description string `json:"description"`
 }
 
-// ScenariosResponse is the scenario catalogue plus the paper's default
-// initial gaps.
+// ScenariosResponse is the scenario catalogue: the six scripted paper
+// scenarios with the default initial gaps, plus the parametric scenario
+// families and their typed parameter spaces.
 type ScenariosResponse struct {
-	Scenarios   []ScenarioInfo `json:"scenarios"`
-	DefaultGaps []float64      `json:"default_gaps"`
+	Scenarios   []ScenarioInfo    `json:"scenarios"`
+	DefaultGaps []float64         `json:"default_gaps"`
+	Families    []*scengen.Family `json:"families"`
 }
 
 // HealthResponse reports liveness plus a pool and cache snapshot.
 type HealthResponse struct {
-	Status     string         `json:"status"` // "ok" or "draining"
-	Workers    int            `json:"workers"`
-	QueueDepth int            `json:"queue_depth"`
-	Jobs       map[Status]int `json:"jobs"`
-	Cache      CacheStats     `json:"cache"`
+	Status       string         `json:"status"` // "ok" or "draining"
+	Workers      int            `json:"workers"`
+	QueueDepth   int            `json:"queue_depth"`
+	Jobs         map[Status]int `json:"jobs"`
+	Explorations map[Status]int `json:"explorations"`
+	Cache        CacheStats     `json:"cache"`
 }
 
 type errorResponse struct {
@@ -123,8 +134,55 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleSubmitExploration(w http.ResponseWriter, r *http.Request) {
+	var spec explore.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding exploration spec: %w", err))
+		return
+	}
+	view, err := s.d.SubmitExploration(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleExploration(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.d.Exploration(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown exploration %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleExplorationResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	report, _, ok, err := s.d.ExplorationResults(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown exploration %q", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	// The report is served as-is (it already carries the spec hash and
+	// no volatile fields), so two explorations of the same spec produce
+	// byte-identical responses.
+	writeJSON(w, http.StatusOK, report)
+}
+
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
-	resp := ScenariosResponse{DefaultGaps: scenario.InitialGaps()}
+	resp := ScenariosResponse{DefaultGaps: scenario.InitialGaps(), Families: scengen.Families()}
 	for _, id := range scenario.All() {
 		resp.Scenarios = append(resp.Scenarios, ScenarioInfo{
 			ID:          int(id),
@@ -141,11 +199,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:     status,
-		Workers:    s.d.Workers(),
-		QueueDepth: s.d.QueueDepth(),
-		Jobs:       s.d.JobCounts(),
-		Cache:      s.d.Cache().Stats(),
+		Status:       status,
+		Workers:      s.d.Workers(),
+		QueueDepth:   s.d.QueueDepth(),
+		Jobs:         s.d.JobCounts(),
+		Explorations: s.d.ExplorationCounts(),
+		Cache:        s.d.Cache().Stats(),
 	})
 }
 

@@ -176,21 +176,13 @@ type PlannedRun struct {
 	CacheKey string
 }
 
-// runFingerprint is everything that determines a run's outcome. Its
-// stable JSON encoding is hashed into the per-run cache key, so two jobs
-// whose specs differ (say, in rep count) still share cache entries for
-// the runs they have in common.
-type runFingerprint struct {
-	Scenario      scenario.Spec        `json:"scenario"`
-	Fault         fi.Params            `json:"fault"`
-	Interventions core.InterventionSet `json:"interventions"`
-	Seed          int64                `json:"seed"`
-	Steps         int                  `json:"steps"`
-}
-
 // Plan expands the normalized spec into its runs in the canonical
 // campaign order (scenario-major, then gap, then rep — the same order
-// experiments.RunMatrix uses).
+// experiments.RunMatrix uses). Cache keys are the canonical run
+// fingerprints (experiments.RunFingerprint) — everything that determines
+// a run's outcome and nothing else — so two jobs whose specs differ
+// (say, in rep count) still share cache entries for the runs they have
+// in common, and exploration probes share the same keyspace.
 func (s JobSpec) Plan() ([]PlannedRun, error) {
 	keys := experiments.Keys(s.Scenarios, s.Gaps, s.Reps)
 	plan := make([]PlannedRun, len(keys))
@@ -202,18 +194,11 @@ func (s JobSpec) Plan() ([]PlannedRun, error) {
 			Seed:          experiments.SeedFor(s.BaseSeed, key, s.Salt),
 			Steps:         s.Steps,
 		}
-		fp, err := json.Marshal(runFingerprint{
-			Scenario:      opts.Scenario,
-			Fault:         opts.Fault,
-			Interventions: opts.Interventions,
-			Seed:          opts.Seed,
-			Steps:         opts.Steps,
-		})
+		cacheKey, err := experiments.RunFingerprint(opts)
 		if err != nil {
 			return nil, fmt.Errorf("service: fingerprinting run %v: %w", key, err)
 		}
-		sum := sha256.Sum256(fp)
-		plan[i] = PlannedRun{Key: key, Opts: opts, CacheKey: hex.EncodeToString(sum[:])}
+		plan[i] = PlannedRun{Key: key, Opts: opts, CacheKey: cacheKey}
 	}
 	return plan, nil
 }
