@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test bench explore-smoke clean
+.PHONY: build vet test test-race fuzz-smoke cover bench explore-smoke report-smoke clean
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,27 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# test-race runs the whole suite under the race detector. The dispatcher,
+# the worker shards, and the exploration/report progress paths are the
+# concurrency-heavy code this guards; CI runs it as a separate job.
+test-race:
+	$(GO) test -race ./...
+
+# fuzz-smoke runs each native fuzz target briefly over its seeded corpus
+# (the golden wire-format fixtures): strict spec decoding must never
+# panic and decode->Normalized->encode must be a fixed point.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/explore
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/report
+
+# cover writes a coverage profile and prints the per-function summary
+# tail (the total). COVERAGE.md records the last checked-in snapshot.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # bench runs the perf-tracking benchmarks (hot-loop step, nn inference,
 # campaign throughput, service throughput) with allocation reporting and
@@ -24,7 +45,7 @@ bench:
 		echo "backed up previous BENCH_step.json to BENCH_history/"; \
 	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkExploreBoundarySearch$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkExploreBoundarySearch$$' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
@@ -41,5 +62,19 @@ explore-smoke:
 		-boundary-min 5 -boundary-max 60 -tol 2 -driver -steps 800 \
 		-fixed "cutin_gap=25" -out /dev/null
 
+# report-smoke exercises the report subsystem end to end at tiny scale:
+# one table and one figure through cmd/tables (now a thin client of
+# internal/report), run twice against a shared on-disk cache so the
+# second pass exercises the cache-served path. It catches breakage in
+# the report engine, artifact rendering, and cache keying without
+# pinning timings.
+report-smoke:
+	@dir=$$(mktemp -d) && \
+		$(GO) run ./cmd/tables -reps 1 -steps 1500 -only 4,fig6 \
+			-out $$dir/results -cache-dir $$dir/cache && \
+		$(GO) run ./cmd/tables -reps 1 -steps 1500 -only 4,fig6 \
+			-out $$dir/results -cache-dir $$dir/cache | grep "cache served" && \
+		rm -rf $$dir
+
 clean:
-	rm -f BENCH_step.json
+	rm -f BENCH_step.json cover.out

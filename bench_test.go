@@ -22,6 +22,7 @@ import (
 	"adasim/internal/nn"
 	"adasim/internal/panda"
 	"adasim/internal/perception"
+	"adasim/internal/report"
 	"adasim/internal/safety"
 	"adasim/internal/scenario"
 	"adasim/internal/service"
@@ -375,6 +376,78 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		warm := spec
 		warm.BaseSeed = 1
 		runBench(b, func(i int) service.JobSpec { return warm })
+	})
+}
+
+// BenchmarkReportThroughput measures the report subsystem end to end
+// through the campaign service. The "cold" variant computes a reduced
+// Table VI report from scratch on the worker shards; the "warm" variant
+// first covers the table's exact run grid with campaign jobs, so the
+// report is served almost entirely (>= 90%, asserted) from the shared
+// content-addressed cache — the paper regenerated as cache reads.
+func BenchmarkReportThroughput(b *testing.B) {
+	spec := report.Spec{Artifacts: []string{report.Table6}, Reps: 1, Steps: 600, BaseSeed: 1}
+	newDispatcher := func(b *testing.B) *service.Dispatcher {
+		d, err := service.NewDispatcher(service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := d.Drain(ctx); err != nil {
+				b.Error(err)
+			}
+		})
+		return d
+	}
+	runReport := func(b *testing.B, d *service.Dispatcher, spec report.Spec) service.ReportView {
+		view, err := d.SubmitReport(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-d.ReportDone(view.ID)
+		view, _ = d.Report(view.ID)
+		if view.Status != service.StatusDone {
+			b.Fatalf("report %s: %s (%s)", view.ID, view.Status, view.Error)
+		}
+		return view
+	}
+	b.Run("cold", func(b *testing.B) {
+		d := newDispatcher(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := spec
+			s.BaseSeed = int64(i + 1) // a fresh report every op
+			view := runReport(b, d, s)
+			b.ReportMetric(float64(view.CompletedRuns), "runs/op")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		d := newDispatcher(b)
+		// Cover the report's exact run grid with campaign jobs first.
+		for _, c := range experiments.TableVICampaigns(experiments.TableVIRows(nil)) {
+			view, err := d.Submit(service.JobSpec{
+				Reps: 1, Steps: 600, BaseSeed: 1, Salt: c.Salt,
+				Fault: c.Fault, Interventions: c.Interventions,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-d.Done(view.ID)
+		}
+		b.ResetTimer()
+		var runs, hits int
+		for i := 0; i < b.N; i++ {
+			view := runReport(b, d, spec)
+			runs += view.CompletedRuns
+			hits += view.CacheHits
+		}
+		if float64(hits) < 0.9*float64(runs) {
+			b.Fatalf("warm reports served %d of %d runs from cache, want >= 90%%", hits, runs)
+		}
+		b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+		b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
 	})
 }
 

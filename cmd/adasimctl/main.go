@@ -13,6 +13,9 @@
 //	explore          submit a scenario-space exploration; -wait blocks
 //	explore-status   show an exploration's status and progress
 //	explore-results  fetch a finished exploration's report
+//	report           submit a paper-artifact report; -wait blocks
+//	report-status    show a report's status and progress
+//	report-results   fetch a finished report's artifacts
 //	scenarios        list the scenario catalogue (including families)
 //	health           show daemon health, pool, and cache counters
 //
@@ -23,21 +26,21 @@
 //	adasimctl results -id j000001-1a2b3c4d
 //	adasimctl explore -family cut-in -boundary-axis trigger_gap -driver -fault curv -wait
 //	adasimctl explore -family cut-in -method lhs -samples 32 -axes "trigger_gap=5:60" -wait
+//	adasimctl report -artifacts table6,fig6 -reps 2 -wait
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
+	"adasim/internal/client"
 	"adasim/internal/explore"
+	"adasim/internal/report"
 	"adasim/internal/scenario"
 	"adasim/internal/service"
 )
@@ -52,7 +55,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|scenarios|health> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|scenarios|health> [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,7 +63,7 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("missing command")
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := client.New(*addr)
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "submit":
@@ -74,20 +77,26 @@ func run() error {
 	case "explore":
 		return cmdExplore(c, args)
 	case "explore-status":
-		return cmdExplorationGet(c, args, "")
+		return cmdIDGet(c, args, "/v1/explorations/", "")
 	case "explore-results":
-		return cmdExplorationGet(c, args, "/results")
+		return cmdIDGet(c, args, "/v1/explorations/", "/results")
+	case "report":
+		return cmdReport(c, args)
+	case "report-status":
+		return cmdIDGet(c, args, "/v1/reports/", "")
+	case "report-results":
+		return cmdIDGet(c, args, "/v1/reports/", "/results")
 	case "scenarios":
-		return c.getPrint("/v1/scenarios")
+		return getPrint(c, "/v1/scenarios")
 	case "health":
-		return c.getPrint("/healthz")
+		return getPrint(c, "/healthz")
 	default:
 		flag.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func cmdSubmit(c *client, args []string) error {
+func cmdSubmit(c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
 		specPath  = fs.String("spec", "", "job spec JSON file ('-' = stdin); overrides the spec flags")
@@ -112,11 +121,9 @@ func cmdSubmit(c *client, args []string) error {
 		if err != nil {
 			return err
 		}
-		// Strict decode, matching the server: a typo'd field fails here
+		// Strict decode shared with the server: a typo'd field fails here
 		// instead of silently running a different campaign.
-		dec := json.NewDecoder(bytes.NewReader(b))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
+		if spec, err = service.DecodeSpec(b); err != nil {
 			return fmt.Errorf("parsing %s: %w", *specPath, err)
 		}
 	} else {
@@ -128,20 +135,20 @@ func cmdSubmit(c *client, args []string) error {
 	}
 
 	var view service.JobView
-	if err := c.postJSON("/v1/jobs", spec, &view); err != nil {
+	if err := c.PostJSON("/v1/jobs", spec, &view); err != nil {
 		return err
 	}
 	if !*wait {
 		return printJSON(view)
 	}
-	final, err := c.waitJob(view.ID)
+	final, err := c.WaitJob(view.ID)
 	if err != nil {
 		return err
 	}
 	if final.Status != service.StatusDone {
 		return fmt.Errorf("job %s %s: %s", final.ID, final.Status, final.Error)
 	}
-	return c.getPrint("/v1/jobs/" + final.ID + "/results")
+	return getPrint(c, "/v1/jobs/"+final.ID+"/results")
 }
 
 func specFromFlags(scenarioArg, gapArg string, reps, steps int, seed, salt int64,
@@ -176,17 +183,11 @@ func specFromFlags(scenarioArg, gapArg string, reps, steps int, seed, salt int64
 	return spec, nil
 }
 
-func cmdJobGet(c *client, args []string, suffix string) error {
-	fs := flag.NewFlagSet("job", flag.ExitOnError)
-	id := fs.String("id", "", "job id")
-	fs.Parse(args)
-	if *id == "" {
-		return fmt.Errorf("-id is required")
-	}
-	return c.getPrint("/v1/jobs/" + *id + suffix)
+func cmdJobGet(c *client.Client, args []string, suffix string) error {
+	return cmdIDGet(c, args, "/v1/jobs/", suffix)
 }
 
-func cmdExplore(c *client, args []string) error {
+func cmdExplore(c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	specPath := fs.String("spec", "", "exploration spec JSON file ('-' = stdin); overrides the spec flags")
 	wait := fs.Bool("wait", false, "wait for completion and print the report")
@@ -209,136 +210,103 @@ func cmdExplore(c *client, args []string) error {
 	}
 
 	var view service.ExplorationView
-	if err := c.postJSON("/v1/explorations", spec, &view); err != nil {
+	if err := c.PostJSON("/v1/explorations", spec, &view); err != nil {
 		return err
 	}
 	if !*wait {
 		return printJSON(view)
 	}
-	final, err := c.waitExploration(view.ID)
+	final, err := c.WaitExploration(view.ID)
 	if err != nil {
 		return err
 	}
 	if final.Status != service.StatusDone {
 		return fmt.Errorf("exploration %s %s: %s", final.ID, final.Status, final.Error)
 	}
-	return c.getPrint("/v1/explorations/" + final.ID + "/results")
+	return getPrint(c, "/v1/explorations/"+final.ID+"/results")
 }
 
-func cmdExplorationGet(c *client, args []string, suffix string) error {
-	fs := flag.NewFlagSet("exploration", flag.ExitOnError)
-	id := fs.String("id", "", "exploration id")
+func cmdReport(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	var (
+		specPath  = fs.String("spec", "", "report spec JSON file ('-' = stdin); overrides the spec flags")
+		artifacts = fs.String("artifacts", "", "comma-separated artifacts (default: all; see report.Artifacts)")
+		reps      = fs.Int("reps", 0, "repetitions per configuration (0 = paper's 10)")
+		steps     = fs.Int("steps", 0, "steps per run (0 = paper default)")
+		seed      = fs.Int64("seed", 1, "base seed")
+		wait      = fs.Bool("wait", false, "wait for completion and print the artifacts")
+	)
+	fs.Parse(args)
+
+	var spec report.Spec
+	if *specPath != "" {
+		b, err := readFileOrStdin(*specPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = report.DecodeSpec(b); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	} else {
+		spec = report.Spec{Reps: *reps, Steps: *steps, BaseSeed: *seed}
+		if *artifacts != "" {
+			for _, part := range strings.Split(*artifacts, ",") {
+				spec.Artifacts = append(spec.Artifacts, strings.TrimSpace(part))
+			}
+		}
+	}
+
+	var view service.ReportView
+	if err := c.PostJSON("/v1/reports", spec, &view); err != nil {
+		return err
+	}
+	if !*wait {
+		return printJSON(view)
+	}
+	final, err := c.WaitReport(view.ID)
+	if err != nil {
+		return err
+	}
+	if final.Status != service.StatusDone {
+		return fmt.Errorf("report %s %s: %s", final.ID, final.Status, final.Error)
+	}
+	return getPrint(c, "/v1/reports/"+final.ID+"/results")
+}
+
+// cmdIDGet fetches <prefix><id><suffix> for the -id flag.
+func cmdIDGet(c *client.Client, args []string, prefix, suffix string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	id := fs.String("id", "", "record id")
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	return c.getPrint("/v1/explorations/" + *id + suffix)
+	return getPrint(c, prefix+*id+suffix)
 }
 
-func cmdWait(c *client, args []string) error {
+func cmdWait(c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("wait", flag.ExitOnError)
 	id := fs.String("id", "", "job id")
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
-	view, err := c.waitJob(*id)
+	view, err := c.WaitJob(*id)
 	if err != nil {
 		return err
 	}
 	return printJSON(view)
 }
 
-// client is a minimal JSON-over-HTTP helper.
-type client struct {
-	base string
-	http http.Client
-}
-
-func (c *client) waitJob(id string) (service.JobView, error) {
-	for {
-		var view service.JobView
-		if err := c.getJSON("/v1/jobs/"+id, &view); err != nil {
-			return view, err
-		}
-		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
-			return view, nil
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-}
-
-func (c *client) waitExploration(id string) (service.ExplorationView, error) {
-	for {
-		var view service.ExplorationView
-		if err := c.getJSON("/v1/explorations/"+id, &view); err != nil {
-			return view, err
-		}
-		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
-			return view, nil
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-}
-
-func (c *client) postJSON(path string, body, out any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
-}
-
-func (c *client) getJSON(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
-}
-
 // getPrint fetches path and prints the raw response body, preserving the
 // server's byte-exact encoding.
-func (c *client) getPrint(path string) error {
-	resp, err := c.http.Get(c.base + path)
+func getPrint(c *client.Client, path string) error {
+	b, err := c.GetRaw(path)
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
 	}
 	_, err = os.Stdout.Write(b)
 	return err
-}
-
-func decodeResponse(resp *http.Response, out any) error {
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(b, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(b, out)
 }
 
 func printJSON(v any) error {

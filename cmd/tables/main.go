@@ -1,12 +1,18 @@
 // Command tables regenerates every table and figure of the paper's
 // evaluation section (Tables IV-VIII, Figures 5-6) from the simulation
-// platform and writes them under an output directory.
+// platform and writes them under an output directory. It is a thin
+// client of internal/report: runs execute through a long-lived platform
+// pool and, with -cache-dir, are served from (and written back to) the
+// same content-addressed result store the adasimd service uses — so
+// regenerating the paper after a campaign over the same grid is almost
+// entirely cache reads.
 //
 // Examples:
 //
 //	tables                       # everything at paper scale (10 reps)
 //	tables -reps 3 -only 6       # quick Table VI
 //	tables -ml -mlweights w.gob  # include the ML baseline row
+//	tables -cache-dir /var/cache/adasim   # share the service's store
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 
 	"adasim/internal/experiments"
 	"adasim/internal/nn"
+	"adasim/internal/report"
+	"adasim/internal/service"
 )
 
 func main() {
@@ -28,157 +36,96 @@ func main() {
 	}
 }
 
+// onlyToArtifacts maps the legacy -only vocabulary (4,5,...,fig5,ext) to
+// canonical artifact names; empty selects everything.
+func onlyToArtifacts(only string) ([]string, error) {
+	if only == "" {
+		return nil, nil
+	}
+	var arts []string
+	for _, p := range strings.Split(only, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "4", "5", "6", "7", "8":
+			arts = append(arts, "table"+p)
+		case report.Fig5, report.Fig6, report.Ext, report.Weather:
+			arts = append(arts, p)
+		default:
+			return nil, fmt.Errorf("unknown -only entry %q (want 4,5,6,7,8,fig5,fig6,ext,weather)", p)
+		}
+	}
+	return arts, nil
+}
+
 func run() error {
 	var (
 		reps      = flag.Int("reps", 10, "repetitions per configuration (paper: 10)")
+		steps     = flag.Int("steps", 0, "steps per run (0 = paper default)")
 		seed      = flag.Int64("seed", 1, "campaign base seed")
 		outDir    = flag.String("out", "results", "output directory")
 		only      = flag.String("only", "", "comma-separated subset: 4,5,6,7,8,fig5,fig6,ext,weather")
 		withML    = flag.Bool("ml", false, "include the ML baseline row in Table VI")
 		mlWeights = flag.String("mlweights", "", "trained weights from cmd/mltrain; trains a fresh model when empty")
+		cacheDir  = flag.String("cache-dir", "", "optional on-disk result cache (shared with adasimd)")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
-	cfg := experiments.DefaultConfig()
-	cfg.Reps = *reps
-	cfg.BaseSeed = *seed
-
-	want := func(name string) bool {
-		if *only == "" {
-			return true
-		}
-		for _, p := range strings.Split(*only, ",") {
-			if strings.TrimSpace(p) == name {
-				return true
-			}
-		}
-		return false
+	artifacts, err := onlyToArtifacts(*only)
+	if err != nil {
+		return err
 	}
-	write := func(name, content string) error {
-		path := filepath.Join(*outDir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	spec := report.Spec{Artifacts: artifacts, Reps: *reps, Steps: *steps, BaseSeed: *seed}
+
+	// The offline path uses the same content-addressed cache type as the
+	// daemon, so a shared -cache-dir lets tables, sweeps, and the service
+	// trade results.
+	cache, err := service.NewResultCache(1<<16, *cacheDir)
+	if err != nil {
+		return err
+	}
+	eng := report.New(experiments.NewPool(0), cache)
+	if *withML && wantsTable6(spec) {
+		if eng.MLNet, err = loadOrTrain(*mlWeights); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	res, stats, err := eng.Run(spec)
+	if err != nil {
+		return err
+	}
+	for _, a := range res.Artifacts {
+		// Tables and studies echo to stdout, as they always have; figure
+		// CSVs only land on disk.
+		if strings.HasSuffix(a.File, ".txt") {
+			fmt.Print(a.Content)
+		}
+		path := filepath.Join(*outDir, a.File)
+		if err := os.WriteFile(path, []byte(a.Content), 0o644); err != nil {
 			return err
 		}
 		fmt.Println("wrote", path)
-		return nil
 	}
-
-	start := time.Now()
-
-	if want("4") || want("5") {
-		t4, err := experiments.TableIV(cfg)
-		if err != nil {
-			return err
-		}
-		if want("4") {
-			fmt.Print(t4.Render())
-			if err := write("table4.txt", t4.Render()); err != nil {
-				return err
-			}
-		}
-		if want("5") {
-			t5 := experiments.RenderTableV(experiments.TableV(t4.Runs))
-			fmt.Print(t5)
-			if err := write("table5.txt", t5); err != nil {
-				return err
-			}
-		}
+	if stats.CacheHits > 0 {
+		fmt.Printf("cache served %d of %d runs\n", stats.CacheHits, stats.Runs)
 	}
-
-	if want("fig5") {
-		figs, err := experiments.Figure5(cfg)
-		if err != nil {
-			return err
-		}
-		for _, f := range figs {
-			if err := write(f.Name+".csv", f.CSV()); err != nil {
-				return err
-			}
-		}
-	}
-
-	if want("fig6") {
-		fig, err := experiments.Figure6(cfg)
-		if err != nil {
-			return err
-		}
-		if err := write(fig.Name+".csv", fig.CSV()); err != nil {
-			return err
-		}
-	}
-
-	if want("6") {
-		var mlNet *nn.Network
-		if *withML {
-			var err error
-			mlNet, err = loadOrTrain(*mlWeights)
-			if err != nil {
-				return err
-			}
-		}
-		t6, err := experiments.TableVI(cfg, experiments.TableVIRows(mlNet))
-		if err != nil {
-			return err
-		}
-		fmt.Print(t6.Render())
-		if err := write("table6.txt", t6.Render()); err != nil {
-			return err
-		}
-	}
-
-	if want("7") {
-		t7, err := experiments.TableVII(cfg)
-		if err != nil {
-			return err
-		}
-		text := experiments.RenderTableVII(t7)
-		fmt.Print(text)
-		if err := write("table7.txt", text); err != nil {
-			return err
-		}
-	}
-
-	if want("8") {
-		t8, err := experiments.TableVIII(cfg)
-		if err != nil {
-			return err
-		}
-		text := experiments.RenderTableVIII(t8)
-		fmt.Print(text)
-		if err := write("table8.txt", text); err != nil {
-			return err
-		}
-	}
-
-	if want("ext") {
-		cells, err := experiments.ExtensionStudy(cfg)
-		if err != nil {
-			return err
-		}
-		text := experiments.RenderExtensionStudy(cells)
-		fmt.Print(text)
-		if err := write("extension_study.txt", text); err != nil {
-			return err
-		}
-	}
-
-	if want("weather") {
-		cells, err := experiments.WeatherStudy(cfg)
-		if err != nil {
-			return err
-		}
-		text := experiments.RenderWeatherStudy(cells)
-		fmt.Print(text)
-		if err := write("weather_study.txt", text); err != nil {
-			return err
-		}
-	}
-
 	fmt.Println("total elapsed:", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// wantsTable6 reports whether the spec computes Table VI — the only
+// artifact the ML baseline feeds, so -ml skips training otherwise.
+func wantsTable6(spec report.Spec) bool {
+	for _, a := range spec.Normalized().Artifacts {
+		if a == report.Table6 {
+			return true
+		}
+	}
+	return false
 }
 
 func loadOrTrain(path string) (*nn.Network, error) {

@@ -1,0 +1,152 @@
+// Package client is the JSON-over-HTTP client for the adasimd campaign
+// service. cmd/adasimctl is a thin wrapper around it, and the end-to-end
+// tests drive the real server through the same code paths, so the CLI's
+// wire behaviour is exactly what the tests pin.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"adasim/internal/service"
+)
+
+// Client talks to one adasimd base URL.
+type Client struct {
+	// Base is the service base URL, without a trailing slash.
+	Base string
+	// Poll is the status-polling interval of the Wait helpers; zero means
+	// 200ms.
+	Poll time.Duration
+	// HTTP is the underlying client; the zero value works.
+	HTTP http.Client
+}
+
+// New builds a client, normalizing the base URL.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.Poll
+}
+
+// PostJSON posts body as JSON and decodes the response into out (which
+// may be nil). Non-2xx responses become errors carrying the server's
+// error body.
+func (c *Client) PostJSON(path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// GetJSON fetches path and decodes the response into out.
+func (c *Client) GetJSON(path string, out any) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// GetRaw fetches path and returns the raw response body, preserving the
+// server's byte-exact encoding.
+func (c *Client) GetRaw(path string) ([]byte, error) {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, statusError(resp.Status, b)
+	}
+	return b, nil
+}
+
+// statusError turns a non-2xx response into an error, extracting the
+// server's {"error": ...} body when present.
+func statusError(status string, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", status, strings.TrimSpace(string(body)))
+}
+
+// WaitJob polls the job until it reaches a terminal state.
+func (c *Client) WaitJob(id string) (service.JobView, error) {
+	for {
+		var view service.JobView
+		if err := c.GetJSON("/v1/jobs/"+id, &view); err != nil {
+			return view, err
+		}
+		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
+			return view, nil
+		}
+		time.Sleep(c.poll())
+	}
+}
+
+// WaitExploration polls the exploration until it reaches a terminal
+// state.
+func (c *Client) WaitExploration(id string) (service.ExplorationView, error) {
+	for {
+		var view service.ExplorationView
+		if err := c.GetJSON("/v1/explorations/"+id, &view); err != nil {
+			return view, err
+		}
+		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
+			return view, nil
+		}
+		time.Sleep(c.poll())
+	}
+}
+
+// WaitReport polls the report until it reaches a terminal state.
+func (c *Client) WaitReport(id string) (service.ReportView, error) {
+	for {
+		var view service.ReportView
+		if err := c.GetJSON("/v1/reports/"+id, &view); err != nil {
+			return view, err
+		}
+		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
+			return view, nil
+		}
+		time.Sleep(c.poll())
+	}
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return statusError(resp.Status, b)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}

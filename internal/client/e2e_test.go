@@ -1,0 +1,194 @@
+// End-to-end test: the real HTTP server (not httptest) on a loopback
+// listener, driven through the same client code paths cmd/adasimctl
+// uses, byte-compared against direct engine output.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"adasim/internal/core"
+	"adasim/internal/experiments"
+	"adasim/internal/explore"
+	"adasim/internal/fi"
+	"adasim/internal/report"
+	"adasim/internal/scenario"
+	"adasim/internal/service"
+)
+
+// bootServer starts a dispatcher and a real http.Server on a loopback
+// listener, exactly as cmd/adasimd wires them, and returns a client
+// pointed at it.
+func bootServer(t *testing.T) (*Client, *service.Dispatcher) {
+	t.Helper()
+	d, err := service.NewDispatcher(service.Config{Workers: 4, QueueSize: 16, CacheEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(d)}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	c := New("http://" + ln.Addr().String())
+	c.Poll = 5 * time.Millisecond
+	return c, d
+}
+
+// wireJSON reproduces the server's byte-exact encoding of v (compact
+// JSON plus a trailing newline).
+func wireJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func TestEndToEndJobMatchesEngine(t *testing.T) {
+	c, _ := bootServer(t)
+	spec := service.JobSpec{
+		Scenarios:     []scenario.ID{scenario.S1},
+		Gaps:          []float64{60},
+		Reps:          1,
+		Steps:         300,
+		BaseSeed:      7,
+		Salt:          2,
+		Fault:         fi.DefaultParams(fi.TargetRelDistance),
+		Interventions: core.InterventionSet{Driver: true},
+	}
+
+	var view service.JobView
+	if err := c.PostJSON("/v1/jobs", spec, &view); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone {
+		t.Fatalf("job = %+v", final)
+	}
+	got, err := c.GetRaw("/v1/jobs/" + final.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := experiments.RunMatrix(experiments.Config{Reps: 1, Steps: 300, BaseSeed: 7},
+		spec.Fault, spec.Interventions, spec.Salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direct matrix covers all scenarios and gaps; filter to the
+	// job's single cell in canonical order.
+	var want []experiments.RunOutcome
+	for _, r := range runs {
+		if r.Key.Scenario == scenario.S1 && r.Key.Gap == 60 {
+			want = append(want, r)
+		}
+	}
+	hash, err := spec.Normalized().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := wireJSON(t, service.ResultsResponse{
+		SpecHash:  hash,
+		TotalRuns: len(want),
+		Results:   want,
+		Aggregate: service.AggregateFor(want),
+	})
+	if !bytes.Equal(got, expected) {
+		t.Errorf("job results over HTTP diverge from direct engine output:\n%s\nvs\n%s", got, expected)
+	}
+}
+
+func TestEndToEndExplorationMatchesEngine(t *testing.T) {
+	c, _ := bootServer(t)
+	spec := explore.Spec{
+		Family:        "cut-in",
+		Steps:         400,
+		Interventions: core.InterventionSet{Driver: true},
+		Fixed:         map[string]float64{"cutin_gap": 25},
+		Boundary:      &explore.BoundarySpec{Axis: "trigger_gap", Min: 5, Max: 60, Tolerance: 10},
+	}
+
+	var view service.ExplorationView
+	if err := c.PostJSON("/v1/explorations", spec, &view); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitExploration(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone {
+		t.Fatalf("exploration = %+v", final)
+	}
+	got, err := c.GetRaw("/v1/explorations/" + final.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, _, err := explore.New(experiments.NewPool(0), nil).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expected := wireJSON(t, rep); !bytes.Equal(got, expected) {
+		t.Errorf("exploration results over HTTP diverge from direct engine output:\n%s\nvs\n%s", got, expected)
+	}
+}
+
+func TestEndToEndReportMatchesEngine(t *testing.T) {
+	c, _ := bootServer(t)
+	spec := report.Spec{Artifacts: []string{report.Table4, report.Fig6}, Reps: 1, Steps: 300, BaseSeed: 5}
+
+	var view service.ReportView
+	if err := c.PostJSON("/v1/reports", spec, &view); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitReport(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone {
+		t.Fatalf("report = %+v", final)
+	}
+	got, err := c.GetRaw("/v1/reports/" + final.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, _, err := report.New(experiments.NewPool(0), nil).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expected := wireJSON(t, res); !bytes.Equal(got, expected) {
+		t.Errorf("report results over HTTP diverge from direct engine output:\n%s\nvs\n%s", got, expected)
+	}
+}
+
+func TestClientErrorSurface(t *testing.T) {
+	c, _ := bootServer(t)
+	if err := c.PostJSON("/v1/reports", report.Spec{Artifacts: []string{"bogus"}}, nil); err == nil {
+		t.Error("invalid report spec accepted")
+	}
+	if _, err := c.GetRaw("/v1/reports/nope/results"); err == nil {
+		t.Error("unknown report id accepted")
+	}
+}

@@ -52,23 +52,48 @@ type TableVIResult struct {
 	Cells []TableVICell
 }
 
+// Campaign is one (fault, interventions, salt) matrix of a table. The
+// salt is part of a table's identity: warming the cache for a table
+// means running campaign jobs with exactly these salts.
+type Campaign struct {
+	Label         string
+	Fault         fi.Params
+	Interventions core.InterventionSet
+	Salt          int64
+}
+
+// TableVICampaigns enumerates Table VI's campaigns in table order, so
+// external warmers (campaign-service jobs, benchmarks) can cover the
+// exact run grid the table executes.
+func TableVICampaigns(rows []InterventionRow) []Campaign {
+	var cs []Campaign
+	for fi_, target := range fi.Targets() {
+		for ri, row := range rows {
+			cs = append(cs, Campaign{
+				Label:         row.Label,
+				Fault:         fi.DefaultParams(target),
+				Interventions: row.Set,
+				Salt:          int64(100 + 10*fi_ + ri),
+			})
+		}
+	}
+	return cs
+}
+
 // TableVI runs the paper's central fault-injection campaign: every fault
 // type against every intervention configuration.
 func TableVI(cfg Config, rows []InterventionRow) (*TableVIResult, error) {
 	res := &TableVIResult{}
-	for fi_, target := range fi.Targets() {
-		for ri, row := range rows {
-			runs, err := RunMatrix(cfg, fi.DefaultParams(target), row.Set,
-				int64(100+10*fi_+ri))
-			if err != nil {
-				return nil, fmt.Errorf("table vi (%v, %s): %w", target, row.Label, err)
-			}
-			res.Cells = append(res.Cells, TableVICell{
-				Fault:        target,
-				Intervention: row.Label,
-				Agg:          metrics.AggregateOutcomes(Outcomes(runs)),
-			})
+	for _, c := range TableVICampaigns(rows) {
+		runs, err := RunMatrix(cfg, c.Fault, c.Interventions, c.Salt)
+		if err != nil {
+			return nil, fmt.Errorf("table vi (%v, %s): %w", c.Fault.Target, c.Label, err)
 		}
+		res.Cells = append(res.Cells, TableVICell{
+			Fault:        c.Fault.Target,
+			Intervention: c.Label,
+			Agg:          metrics.AggregateOutcomes(Outcomes(runs)),
+		})
 	}
 	return res, nil
 }

@@ -14,6 +14,21 @@ import (
 	"adasim/internal/scenario"
 )
 
+// Executor executes a batch of runs with index-ordered results. Pool
+// implements it for in-process campaigns; the campaign service adapts
+// its worker shards to it so every workload shares the daemon's
+// long-lived platforms.
+type Executor interface {
+	Execute(reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]RunOutcome, error)
+}
+
+// Cache is a content-addressed per-run outcome store keyed by
+// RunFingerprint hashes. service.ResultCache implements it.
+type Cache interface {
+	Get(key string) (metrics.Outcome, bool)
+	Put(key string, out metrics.Outcome)
+}
+
 // Config are the campaign-level knobs shared by every experiment.
 type Config struct {
 	// Reps is the number of repetitions per configuration (10 in the
@@ -29,6 +44,15 @@ type Config struct {
 	// Modify, when non-nil, is applied to every run's options before
 	// execution (used by sweeps and ablations).
 	Modify func(*core.Options)
+	// Executor, when non-nil, executes every campaign batch; the default
+	// fans out over a fresh pool of Parallelism workers per batch. The
+	// report subsystem and the campaign service set it so tables and
+	// figures run on their long-lived platform shards.
+	Executor Executor
+	// Cache, when non-nil, short-circuits runs whose fingerprint is
+	// already stored and writes fresh outcomes back. Trace-recording runs
+	// and runs that cannot be fingerprinted (ML) always execute.
+	Cache Cache
 }
 
 // DefaultConfig returns the paper's campaign dimensions.
@@ -76,6 +100,11 @@ func SeedFor(base int64, key RunKey, salt int64) int64 {
 type RunOutcome struct {
 	Key     RunKey          `json:"key"`
 	Outcome metrics.Outcome `json:"outcome"`
+	// Trace is the recorded per-step time series when the run's options
+	// set RecordTrace (figure runs). It is excluded from the wire format
+	// and never cached; cached runs always re-execute when a trace is
+	// needed.
+	Trace *metrics.Trace `json:"-"`
 }
 
 // RunMatrix executes scenarios x gaps x reps runs of the given fault and
@@ -106,7 +135,60 @@ func RunMatrix(cfg Config, fault fi.Params, iv core.InterventionSet, salt int64)
 		}
 		reqs[i] = RunRequest{Key: key, Opts: opts}
 	}
-	return ExecuteRuns(cfg.Parallelism, reqs, nil)
+	return cfg.execute(reqs)
+}
+
+// execute resolves a planned batch through the config's executor and
+// cache: cached outcomes short-circuit, the rest fan out, and fresh
+// outcomes are written back. Results keep the request order, so the
+// output never depends on executor shard count or cache warmth. Runs
+// that record a trace, or that cannot be fingerprinted (ML), bypass the
+// cache lookup and always execute.
+func (c Config) execute(reqs []RunRequest) ([]RunOutcome, error) {
+	exec := c.Executor
+	if exec == nil {
+		exec = NewPool(c.Parallelism)
+	}
+	if c.Cache == nil {
+		return exec.Execute(reqs, nil)
+	}
+	outs := make([]RunOutcome, len(reqs))
+	var missed []int
+	var keys []string
+	for i, req := range reqs {
+		key := ""
+		if !req.Opts.RecordTrace {
+			if k, err := RunFingerprint(req.Opts); err == nil {
+				key = k
+			}
+		}
+		if key != "" {
+			if out, ok := c.Cache.Get(key); ok {
+				outs[i] = RunOutcome{Key: req.Key, Outcome: out}
+				continue
+			}
+		}
+		missed = append(missed, i)
+		keys = append(keys, key)
+	}
+	if len(missed) == 0 {
+		return outs, nil // fully cache-served: skip the executor fan-out
+	}
+	sub := make([]RunRequest, len(missed))
+	for j, i := range missed {
+		sub[j] = reqs[i]
+	}
+	fresh, err := exec.Execute(sub, nil)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missed {
+		outs[i] = fresh[j]
+		if keys[j] != "" {
+			c.Cache.Put(keys[j], fresh[j].Outcome)
+		}
+	}
+	return outs, nil
 }
 
 // Outcomes strips run keys.

@@ -100,7 +100,7 @@ func (p *Pool) Execute(reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]
 						req.Key.Scenario, req.Key.Gap, req.Key.Rep, err)
 					continue
 				}
-				outs[i] = RunOutcome{Key: req.Key, Outcome: res.Outcome}
+				outs[i] = RunOutcome{Key: req.Key, Outcome: res.Outcome, Trace: res.Trace}
 				if onDone != nil {
 					onDone(i, outs[i])
 				}

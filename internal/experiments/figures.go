@@ -49,9 +49,13 @@ func sampleEvery(tr *metrics.Trace, n int) []metrics.Sample {
 
 // Figure5 reproduces Fig. 5: ego speed and distance to lane lines while
 // approaching the lead vehicle, one figure per scenario, fault-free.
+// Figure runs execute through the config's executor like every other
+// campaign, but always bypass the outcome cache: their value is the
+// recorded trace, which never travels through it.
 func Figure5(cfg Config) ([]Figure, error) {
-	var figs []Figure
-	for _, id := range scenario.All() {
+	ids := scenario.All()
+	reqs := make([]RunRequest, len(ids))
+	for i, id := range ids {
 		opts := core.Options{
 			Scenario:    scenario.DefaultSpec(id, 60),
 			Seed:        cfg.BaseSeed,
@@ -61,13 +65,17 @@ func Figure5(cfg Config) ([]Figure, error) {
 		if cfg.Modify != nil {
 			cfg.Modify(&opts)
 		}
-		res, err := core.Run(opts)
-		if err != nil {
-			return nil, fmt.Errorf("figure 5 (%v): %w", id, err)
-		}
+		reqs[i] = RunRequest{Key: RunKey{Scenario: id, Gap: 60}, Opts: opts}
+	}
+	outs, err := cfg.execute(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("figure 5: %w", err)
+	}
+	figs := make([]Figure, 0, len(ids))
+	for i, id := range ids {
 		speed := Series{Label: "ego speed (m/s)"}
 		lane := Series{Label: "distance to lane lines (m)"}
-		for _, s := range sampleEvery(res.Trace, 10) {
+		for _, s := range sampleEvery(outs[i].Trace, 10) {
 			speed.Points = append(speed.Points, [2]float64{s.T, s.EgoV})
 			lane.Points = append(lane.Points, [2]float64{s.T, s.LaneLineMin})
 		}
@@ -93,14 +101,16 @@ func Figure6(cfg Config) (Figure, error) {
 	if cfg.Modify != nil {
 		cfg.Modify(&opts)
 	}
-	res, err := core.Run(opts)
+	outs, err := cfg.execute([]RunRequest{
+		{Key: RunKey{Scenario: scenario.S1, Gap: 60}, Opts: opts},
+	})
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 6: %w", err)
 	}
 	speed := Series{Label: "ego speed (m/s)"}
 	trueRD := Series{Label: "true relative distance (m)"}
 	seenRD := Series{Label: "perceived relative distance (m)"}
-	for _, s := range sampleEvery(res.Trace, 10) {
+	for _, s := range sampleEvery(outs[0].Trace, 10) {
 		speed.Points = append(speed.Points, [2]float64{s.T, s.EgoV})
 		if s.LeadValid {
 			trueRD.Points = append(trueRD.Points, [2]float64{s.T, s.LeadGap})

@@ -18,17 +18,13 @@ import (
 // Executor executes a batch of runs with index-ordered results.
 // experiments.Pool implements it for in-process exploration; the campaign
 // service adapts its worker shards to it so explorations share the
-// daemon's long-lived platforms.
-type Executor interface {
-	Execute(reqs []experiments.RunRequest, onDone func(i int, ro experiments.RunOutcome)) ([]experiments.RunOutcome, error)
-}
+// daemon's long-lived platforms. It is the canonical executor contract
+// shared by campaigns, explorations, and reports.
+type Executor = experiments.Executor
 
 // Cache is a content-addressed per-run outcome store keyed by
 // experiments.RunFingerprint hashes. service.ResultCache implements it.
-type Cache interface {
-	Get(key string) (metrics.Outcome, bool)
-	Put(key string, out metrics.Outcome)
-}
+type Cache = experiments.Cache
 
 // ProbeResult pairs one probe's requested parameters (sampled axes
 // overlaid on the spec's fixed values; family defaults stay implicit)

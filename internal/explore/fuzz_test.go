@@ -1,0 +1,58 @@
+package explore
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec fuzzes the strict exploration wire-format decoder: any
+// input that decodes must normalize to a stable fixed point — decode,
+// Normalized, encode, decode again, Normalized again must reproduce the
+// same bytes and the same content hash — and nothing may panic.
+func FuzzParseSpec(f *testing.F) {
+	// Seed the corpus with the wire shapes the golden endpoint tests and
+	// the README examples exercise, one per method.
+	f.Add([]byte(`{"family":"cut-in","method":"grid","axes":[{"name":"trigger_gap","min":10,"max":50,"points":3}],"fault":{},"interventions":{}}`))
+	f.Add([]byte(`{"family":"cut-in","method":"lhs","samples":8,"seed":3,"base_seed":7,"steps":600,"axes":[{"name":"trigger_gap","min":5,"max":60}],"fault":{"target":1},"interventions":{"driver":true}}`))
+	f.Add([]byte(`{"family":"cut-in","fixed":{"cutin_gap":25},"boundary":{"axis":"trigger_gap","min":5,"max":60,"tolerance":2},"fault":{},"interventions":{"driver":true}}`))
+	f.Add([]byte(`{"family":"lead-profile","method":"random","samples":4,"fault":{},"interventions":{}}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return // not a spec; only panics are failures
+		}
+		n := spec.Normalized()
+		if err := n.Validate(); err != nil {
+			return // invalid specs just have to fail cleanly
+		}
+		h1, err := n.Hash()
+		if err != nil {
+			t.Fatalf("hashing a valid normalized spec: %v", err)
+		}
+		b1, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("encoding a valid normalized spec: %v", err)
+		}
+		spec2, err := DecodeSpec(b1)
+		if err != nil {
+			t.Fatalf("round-trip decode of %s: %v", b1, err)
+		}
+		n2 := spec2.Normalized()
+		b2, err := json.Marshal(n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("Normalized is not a fixed point:\n%s\nvs\n%s", b1, b2)
+		}
+		h2, err := n2.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("round-trip changed the content hash: %s vs %s", h1, h2)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package report
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"adasim/internal/experiments"
+	"adasim/internal/metrics"
+	"adasim/internal/nn"
+)
+
+// Artifact is one rendered table or figure file. Content is the
+// canonical byte-stable encoding (fixed-format text for tables, CSV for
+// figures); File is the conventional file name cmd/tables writes.
+type Artifact struct {
+	Name    string `json:"name"`
+	File    string `json:"file"`
+	Content string `json:"content"`
+}
+
+// Result is a report's outcome. It deliberately carries no report ID,
+// timing, or cache counters, so the encoding is a pure function of the
+// normalized spec: byte-identical across executor shard counts and
+// cache warmth.
+type Result struct {
+	SpecHash  string     `json:"spec_hash"`
+	TotalRuns int        `json:"total_runs"`
+	Artifacts []Artifact `json:"artifacts"`
+}
+
+// Artifact returns the first artifact with the given name, or nil.
+func (r *Result) Artifact(name string) *Artifact {
+	for i := range r.Artifacts {
+		if r.Artifacts[i].Name == name {
+			return &r.Artifacts[i]
+		}
+	}
+	return nil
+}
+
+// Stats are execution-side counters (deliberately outside the Result).
+type Stats struct {
+	// Runs is the total number of runs the report needed (executed plus
+	// served from cache).
+	Runs int
+	// CacheHits is how many of them the cache served.
+	CacheHits int
+}
+
+// Engine computes reports against an executor and an optional cache.
+type Engine struct {
+	exec  experiments.Executor
+	cache experiments.Cache
+	// MLNet, when non-nil, adds the ML baseline row to Table VI. It is an
+	// offline-only extra: trained weights are not part of a Spec (so the
+	// service never sets it), ML runs bypass the result cache (they
+	// cannot be fingerprinted), and the purity of Result with respect to
+	// the spec hash only holds for engines without a network attached.
+	MLNet *nn.Network
+	// Progress, when non-nil, is called with cumulative (completedRuns,
+	// cacheHits) counts as runs finish. Calls arrive from executor worker
+	// goroutines; it must be safe for concurrent use.
+	Progress func(completedRuns, cacheHits int)
+}
+
+// New builds an engine. cache may be nil.
+func New(exec experiments.Executor, cache experiments.Cache) *Engine {
+	return &Engine{exec: exec, cache: cache}
+}
+
+// countingExecutor wraps the engine's executor so every completed run
+// moves the engine counters, regardless of which table requested it.
+type countingExecutor struct {
+	inner experiments.Executor
+	ran   *atomic.Int64
+	note  func()
+}
+
+func (ce countingExecutor) Execute(reqs []experiments.RunRequest, onDone func(i int, ro experiments.RunOutcome)) ([]experiments.RunOutcome, error) {
+	return ce.inner.Execute(reqs, func(i int, ro experiments.RunOutcome) {
+		ce.ran.Add(1)
+		ce.note()
+		if onDone != nil {
+			onDone(i, ro)
+		}
+	})
+}
+
+// countingCache wraps the engine's cache to count hits.
+type countingCache struct {
+	inner experiments.Cache
+	hits  *atomic.Int64
+	note  func()
+}
+
+func (cc countingCache) Get(key string) (metrics.Outcome, bool) {
+	out, ok := cc.inner.Get(key)
+	if ok {
+		cc.hits.Add(1)
+		cc.note()
+	}
+	return out, ok
+}
+
+func (cc countingCache) Put(key string, out metrics.Outcome) { cc.inner.Put(key, out) }
+
+// Run computes the report and returns its result. The spec is normalized
+// and validated first, so callers may pass the raw wire form.
+func (e *Engine) Run(spec Spec) (*Result, Stats, error) {
+	n := spec.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	var ran, hits atomic.Int64
+	note := func() {
+		if e.Progress != nil {
+			e.Progress(int(ran.Load()+hits.Load()), int(hits.Load()))
+		}
+	}
+	cfg := experiments.Config{
+		Reps:     n.Reps,
+		Steps:    n.Steps,
+		BaseSeed: n.BaseSeed,
+		Executor: countingExecutor{inner: e.exec, ran: &ran, note: note},
+	}
+	if e.cache != nil {
+		cfg.Cache = countingCache{inner: e.cache, hits: &hits, note: note}
+	}
+
+	// Table V derives from Table IV's fault-free runs, so the campaign
+	// executes once even when both artifacts are requested.
+	var t4 *experiments.TableIVResult
+	tableIV := func() (*experiments.TableIVResult, error) {
+		if t4 == nil {
+			if t4, err = experiments.TableIV(cfg); err != nil {
+				return nil, err
+			}
+		}
+		return t4, nil
+	}
+
+	res := &Result{SpecHash: hash}
+	add := func(name, file, content string) {
+		res.Artifacts = append(res.Artifacts, Artifact{Name: name, File: file, Content: content})
+	}
+	for _, name := range n.Artifacts {
+		switch name {
+		case Table4:
+			t, err := tableIV()
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "table4.txt", t.Render())
+		case Table5:
+			t, err := tableIV()
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "table5.txt", experiments.RenderTableV(experiments.TableV(t.Runs)))
+		case Table6:
+			t, err := experiments.TableVI(cfg, experiments.TableVIRows(e.MLNet))
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "table6.txt", t.Render())
+		case Table7:
+			cells, err := experiments.TableVII(cfg)
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "table7.txt", experiments.RenderTableVII(cells))
+		case Table8:
+			cells, err := experiments.TableVIII(cfg)
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "table8.txt", experiments.RenderTableVIII(cells))
+		case Fig5:
+			figs, err := experiments.Figure5(cfg)
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			for _, f := range figs {
+				add(name, f.Name+".csv", f.CSV())
+			}
+		case Fig6:
+			fig, err := experiments.Figure6(cfg)
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, fig.Name+".csv", fig.CSV())
+		case Ext:
+			cells, err := experiments.ExtensionStudy(cfg)
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "extension_study.txt", experiments.RenderExtensionStudy(cells))
+		case Weather:
+			cells, err := experiments.WeatherStudy(cfg)
+			if err != nil {
+				return nil, statsOf(&ran, &hits), err
+			}
+			add(name, "weather_study.txt", experiments.RenderWeatherStudy(cells))
+		default:
+			return nil, statsOf(&ran, &hits), fmt.Errorf("report: unknown artifact %q", name)
+		}
+	}
+	stats := statsOf(&ran, &hits)
+	// Executed plus cached equals the planned run count, a pure function
+	// of the spec — so TotalRuns stays byte-stable across cache warmth.
+	res.TotalRuns = stats.Runs
+	return res, stats, nil
+}
+
+func statsOf(ran, hits *atomic.Int64) Stats {
+	return Stats{Runs: int(ran.Load() + hits.Load()), CacheHits: int(hits.Load())}
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseSpec fuzzes the strict wire-format decoder: any input that
+// decodes must normalize to a stable fixed point — decode, Normalized,
+// encode, decode again, Normalized again must reproduce the same bytes
+// and the same content hash — and nothing may panic.
+func FuzzParseSpec(f *testing.F) {
+	// Seed the corpus from the golden wire-format fixture plus the edge
+	// shapes the normalizer handles.
+	if b, err := os.ReadFile(filepath.Join("testdata", "reportspec.golden")); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"artifacts":["fig6","table6","table4","table6"],"reps":2}`))
+	f.Add([]byte(`{"artifacts":["weather"],"reps":1000,"steps":1000000,"base_seed":-1}`))
+	f.Add([]byte(`{"artifacts":["table9"]}`))
+	f.Add([]byte(`{"reps":-3,"steps":0}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return // not a spec; only panics are failures
+		}
+		n := spec.Normalized()
+		if err := n.Validate(); err != nil {
+			return // invalid specs just have to fail cleanly
+		}
+		h1, err := n.Hash()
+		if err != nil {
+			t.Fatalf("hashing a valid normalized spec: %v", err)
+		}
+		b1, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("encoding a valid normalized spec: %v", err)
+		}
+		spec2, err := DecodeSpec(b1)
+		if err != nil {
+			t.Fatalf("round-trip decode of %s: %v", b1, err)
+		}
+		n2 := spec2.Normalized()
+		b2, err := json.Marshal(n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("Normalized is not a fixed point:\n%s\nvs\n%s", b1, b2)
+		}
+		h2, err := n2.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("round-trip changed the content hash: %s vs %s", h1, h2)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package report computes the paper's evaluation artifacts — Tables
+// IV-VIII, Figures 5-6, and the extension/weather studies — as a
+// declarative, cacheable service workload. A report is described by a
+// serializable Spec (normalized, validated, and content-hashed exactly
+// like a campaign job or an exploration), executes every underlying run
+// through the shared experiments executor, and serves repeated runs from
+// the content-addressed result cache — so regenerating the paper after a
+// campaign over the same grid is almost entirely cache reads.
+//
+// Determinism contract: a report's Result is a pure function of its
+// normalized Spec. Every artifact renders to a canonical byte-stable
+// text/CSV encoding (fixed field ordering, fixed float formatting), run
+// seeds derive from (BaseSeed, RunKey, per-table salt) exactly as
+// experiments.RunMatrix derives them, and artifacts appear in the
+// canonical artifact order — so the same spec yields byte-identical
+// result encodings regardless of executor shard count or cache warmth.
+package report
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"adasim/internal/core"
+)
+
+// Artifact names, in the canonical order artifacts appear in a Result.
+const (
+	Table4  = "table4"
+	Table5  = "table5"
+	Table6  = "table6"
+	Table7  = "table7"
+	Table8  = "table8"
+	Fig5    = "fig5"
+	Fig6    = "fig6"
+	Ext     = "ext"
+	Weather = "weather"
+)
+
+// artifactOrder is the canonical artifact ordering.
+var artifactOrder = []string{Table4, Table5, Table6, Table7, Table8, Fig5, Fig6, Ext, Weather}
+
+// Artifacts returns every artifact name in canonical order.
+func Artifacts() []string {
+	return append([]string(nil), artifactOrder...)
+}
+
+// Sizing bounds.
+const (
+	// MaxReps bounds a report's repetitions per configuration (100x the
+	// paper's 10) so one request cannot monopolise the service.
+	MaxReps = 1000
+	// MaxSteps bounds a single run's length (mirrors the campaign
+	// service's per-run bound).
+	MaxSteps = 1000000
+)
+
+// Spec is a serializable report request. The json tags define the stable
+// wire format of the service's report API; Hash is the SHA-256 content
+// hash of the normalized form.
+type Spec struct {
+	// Artifacts selects the tables and figures to compute; empty means
+	// all of them.
+	Artifacts []string `json:"artifacts,omitempty"`
+	// Reps is the number of repetitions per configuration; zero means
+	// the paper's 10.
+	Reps int `json:"reps,omitempty"`
+	// Steps caps each run's length; zero means core.DefaultSteps.
+	Steps int `json:"steps,omitempty"`
+	// BaseSeed decorrelates whole reports; per-run seeds derive from it
+	// deterministically (experiments.SeedFor with per-table salts).
+	BaseSeed int64 `json:"base_seed,omitempty"`
+}
+
+// artifactRank maps artifact names to their canonical position; unknown
+// names rank past the end (and are rejected by Validate).
+func artifactRank(name string) int {
+	for i, a := range artifactOrder {
+		if a == name {
+			return i
+		}
+	}
+	return len(artifactOrder)
+}
+
+// Normalized returns the canonical form of the spec: defaults resolved,
+// artifacts deduplicated and sorted into canonical order. Two specs
+// describing the same report normalize identically, so their hashes
+// collide on purpose.
+func (s Spec) Normalized() Spec {
+	n := s
+	if len(n.Artifacts) == 0 {
+		n.Artifacts = Artifacts()
+	} else {
+		n.Artifacts = append([]string(nil), n.Artifacts...)
+		// Sort by (canonical rank, name): the secondary name key keeps
+		// unknown artifacts (rejected later by Validate)
+		// deterministically placed.
+		sort.Slice(n.Artifacts, func(i, j int) bool {
+			a, b := n.Artifacts[i], n.Artifacts[j]
+			if ra, rb := artifactRank(a), artifactRank(b); ra != rb {
+				return ra < rb
+			}
+			return a < b
+		})
+		kept := n.Artifacts[:0]
+		for i, a := range n.Artifacts {
+			if i == 0 || a != n.Artifacts[i-1] {
+				kept = append(kept, a)
+			}
+		}
+		n.Artifacts = kept
+	}
+	if n.Reps == 0 {
+		n.Reps = 10
+	}
+	if n.Steps == 0 {
+		n.Steps = core.DefaultSteps
+	}
+	return n
+}
+
+// Validate rejects unusable specs. It expects the normalized form.
+func (s Spec) Validate() error {
+	for _, a := range s.Artifacts {
+		if artifactRank(a) >= len(Artifacts()) {
+			return fmt.Errorf("report: unknown artifact %q (want one of %v)", a, Artifacts())
+		}
+	}
+	if s.Reps < 1 || s.Reps > MaxReps {
+		return fmt.Errorf("report: reps must be in [1, %d], got %d", MaxReps, s.Reps)
+	}
+	if s.Steps < 1 || s.Steps > MaxSteps {
+		return fmt.Errorf("report: steps must be in [1, %d], got %d", MaxSteps, s.Steps)
+	}
+	return nil
+}
+
+// Hash returns the canonical content hash of the normalized spec: the
+// SHA-256 of its stable JSON encoding. It expects the normalized form.
+func (s Spec) Hash() (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("report: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// DecodeSpec strictly parses a JSON report spec, rejecting unknown
+// fields — the same contract the service's submission endpoint applies,
+// so a typo fails identically offline and over HTTP.
+func DecodeSpec(b []byte) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}

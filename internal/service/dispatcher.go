@@ -46,6 +46,11 @@ type Config struct {
 	// status/results queries. The oldest finished jobs are evicted
 	// first; queued and running jobs are never evicted. Zero means 4096.
 	MaxJobRecords int
+	// MaxReportRecords bounds finished report records separately: a
+	// report retains its full rendered artifacts (~0.5 MB for a
+	// full-spec report), an order of magnitude heavier than a job or
+	// exploration record, so its cap is much smaller. Zero means 256.
+	MaxReportRecords int
 }
 
 func (c Config) normalized() Config {
@@ -60,6 +65,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxJobRecords <= 0 {
 		c.MaxJobRecords = 4096
+	}
+	if c.MaxReportRecords <= 0 {
+		c.MaxReportRecords = 256
 	}
 	return c
 }
@@ -119,6 +127,9 @@ type Dispatcher struct {
 	expls     map[string]*exploration
 	explOrder []string // exploration IDs in submission order
 
+	reports  map[string]*reportRecord
+	repOrder []string // report IDs in submission order
+
 	jobCh  chan queueItem
 	taskCh chan runTask
 
@@ -141,6 +152,7 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 		cache:     cache,
 		jobs:      make(map[string]*job),
 		expls:     make(map[string]*exploration),
+		reports:   make(map[string]*reportRecord),
 		jobCh:     make(chan queueItem, cfg.QueueSize),
 		taskCh:    make(chan runTask),
 		schedDone: make(chan struct{}),
@@ -449,7 +461,7 @@ func (d *Dispatcher) worker() {
 			*t.err = fmt.Errorf("run %v/%v/%d: %w",
 				t.run.Key.Scenario, t.run.Key.Gap, t.run.Key.Rep, err)
 		} else {
-			*t.out = experiments.RunOutcome{Key: t.run.Key, Outcome: res.Outcome}
+			*t.out = experiments.RunOutcome{Key: t.run.Key, Outcome: res.Outcome, Trace: res.Trace}
 			t.note()
 		}
 		t.wg.Done()

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"adasim/internal/report"
+)
+
+// reportRecord is the dispatcher-internal record of one report. Mutable
+// fields are guarded by the owning Dispatcher's mu.
+type reportRecord struct {
+	id   string
+	spec report.Spec // normalized
+	hash string
+
+	status      Status
+	completed   int
+	cacheHits   int
+	errMsg      string
+	submittedAt time.Time
+	startedAt   *time.Time
+	finishedAt  *time.Time
+	result      *report.Result // set once status is done
+	done        chan struct{}  // closed on done/failed
+}
+
+// ReportView is a point-in-time snapshot of a report, shaped for the
+// API. CompletedRuns grows as the report's campaigns execute (runs
+// served from the cache count immediately).
+type ReportView struct {
+	ID            string     `json:"id"`
+	SpecHash      string     `json:"spec_hash"`
+	Status        Status     `json:"status"`
+	CompletedRuns int        `json:"completed_runs"`
+	CacheHits     int        `json:"cache_hits"`
+	Error         string     `json:"error,omitempty"`
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+}
+
+// SubmitReport validates, normalizes, and enqueues a report spec into
+// the shared FIFO queue. It never blocks: a full queue returns
+// ErrQueueFull.
+func (d *Dispatcher) SubmitReport(spec report.Spec) (ReportView, error) {
+	norm := spec.Normalized()
+	if err := norm.Validate(); err != nil {
+		return ReportView{}, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return ReportView{}, err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return ReportView{}, ErrDraining
+	}
+	d.seq++
+	r := &reportRecord{
+		id:          fmt.Sprintf("r%06d-%s", d.seq, hash[:8]),
+		spec:        norm,
+		hash:        hash,
+		status:      StatusQueued,
+		submittedAt: time.Now().UTC(),
+		done:        make(chan struct{}),
+	}
+	select {
+	case d.jobCh <- r:
+	default:
+		d.seq-- // the report never existed
+		return ReportView{}, ErrQueueFull
+	}
+	d.reports[r.id] = r
+	d.repOrder = append(d.repOrder, r.id)
+	return d.reportViewLocked(r), nil
+}
+
+// Report returns a snapshot of the report, if known.
+func (d *Dispatcher) Report(id string) (ReportView, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.reports[id]
+	if !ok {
+		return ReportView{}, false
+	}
+	return d.reportViewLocked(r), true
+}
+
+// ReportResults returns the report's result once it is done. The boolean
+// is false for unknown reports; the error reports one that has not
+// finished (or failed).
+func (d *Dispatcher) ReportResults(id string) (*report.Result, string, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.reports[id]
+	if !ok {
+		return nil, "", false, nil
+	}
+	switch r.status {
+	case StatusDone:
+		return r.result, r.hash, true, nil
+	case StatusFailed:
+		return nil, r.hash, true, fmt.Errorf("service: report %s failed: %s", id, r.errMsg)
+	default:
+		return nil, r.hash, true, fmt.Errorf("service: report %s is %s", id, r.status)
+	}
+}
+
+// ReportDone returns a channel closed when the report reaches a terminal
+// state, or nil for unknown reports.
+func (d *Dispatcher) ReportDone(id string) <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.reports[id]; ok {
+		return r.done
+	}
+	return nil
+}
+
+// ReportCounts returns the number of reports per status.
+func (d *Dispatcher) ReportCounts() map[Status]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	counts := make(map[Status]int, 4)
+	for _, r := range d.reports {
+		counts[r.status]++
+	}
+	return counts
+}
+
+func (d *Dispatcher) reportViewLocked(r *reportRecord) ReportView {
+	return ReportView{
+		ID:            r.id,
+		SpecHash:      r.hash,
+		Status:        r.status,
+		CompletedRuns: r.completed,
+		CacheHits:     r.cacheHits,
+		Error:         r.errMsg,
+		SubmittedAt:   r.submittedAt,
+		StartedAt:     r.startedAt,
+		FinishedAt:    r.finishedAt,
+	}
+}
+
+// execute implements queueItem: reports run on the scheduler goroutine
+// like jobs and explorations, fanning their campaigns' runs out over the
+// shared worker shards and the shared content-addressed result cache.
+func (r *reportRecord) execute(d *Dispatcher) {
+	now := time.Now().UTC()
+	d.mu.Lock()
+	r.status = StatusRunning
+	r.startedAt = &now
+	d.mu.Unlock()
+
+	eng := report.New(shardExecutor{d: d}, d.cache)
+	eng.Progress = func(completed, cacheHits int) {
+		// Callbacks arrive concurrently from worker goroutines with no
+		// ordering guarantee; only ever move the counters forward so a
+		// stale callback cannot make a polled view regress.
+		d.mu.Lock()
+		if completed > r.completed {
+			r.completed = completed
+		}
+		if cacheHits > r.cacheHits {
+			r.cacheHits = cacheHits
+		}
+		d.mu.Unlock()
+	}
+	result, stats, err := eng.Run(r.spec)
+
+	end := time.Now().UTC()
+	d.mu.Lock()
+	r.finishedAt = &end
+	r.completed = stats.Runs
+	r.cacheHits = stats.CacheHits
+	if err != nil {
+		r.status = StatusFailed
+		r.errMsg = err.Error()
+	} else {
+		r.status = StatusDone
+		r.result = result
+	}
+	d.pruneReportsLocked()
+	d.mu.Unlock()
+	close(r.done)
+}
+
+// pruneReportsLocked applies the shared retention policy (pruneFinished)
+// to report records. d.mu must be held.
+func (d *Dispatcher) pruneReportsLocked() {
+	d.repOrder = pruneFinished(d.repOrder, d.cfg.MaxReportRecords,
+		func(id string) bool {
+			r := d.reports[id]
+			return r.status == StatusDone || r.status == StatusFailed
+		},
+		func(id string) { delete(d.reports, id) })
+}

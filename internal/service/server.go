@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
+	"strings"
 
 	"adasim/internal/experiments"
 	"adasim/internal/explore"
 	"adasim/internal/metrics"
+	"adasim/internal/report"
 	"adasim/internal/scenario"
 	"adasim/internal/scengen"
 )
@@ -21,8 +25,14 @@ import (
 //	POST /v1/explorations               submit an explore.Spec        -> 202 ExplorationView
 //	GET  /v1/explorations/{id}          exploration status/progress   -> 200 ExplorationView
 //	GET  /v1/explorations/{id}/results  report of a finished search   -> 200 explore.Report
+//	POST /v1/reports                    submit a report.Spec          -> 202 ReportView
+//	GET  /v1/reports/{id}               report status and progress    -> 200 ReportView
+//	GET  /v1/reports/{id}/results       artifacts of a finished report-> 200 report.Result
 //	GET  /v1/scenarios                  scenarios + family catalogue  -> 200
 //	GET  /healthz                       liveness, pool + cache view   -> 200
+//
+// Every POST endpoint requires a JSON body: a request declaring a
+// non-JSON Content-Type is rejected with 415 before the body is read.
 type Server struct {
 	d   *Dispatcher
 	mux *http.ServeMux
@@ -31,15 +41,38 @@ type Server struct {
 // NewServer wires the routes.
 func NewServer(d *Dispatcher) *Server {
 	s := &Server{d: d, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs", requireJSON(s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
-	s.mux.HandleFunc("POST /v1/explorations", s.handleSubmitExploration)
+	s.mux.HandleFunc("POST /v1/explorations", requireJSON(s.handleSubmitExploration))
 	s.mux.HandleFunc("GET /v1/explorations/{id}", s.handleExploration)
 	s.mux.HandleFunc("GET /v1/explorations/{id}/results", s.handleExplorationResults)
+	s.mux.HandleFunc("POST /v1/reports", requireJSON(s.handleSubmitReport))
+	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReport)
+	s.mux.HandleFunc("GET /v1/reports/{id}/results", s.handleReportResults)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
+}
+
+// requireJSON rejects POST bodies whose declared Content-Type is not
+// JSON with 415 and the standard error body. An absent Content-Type is
+// accepted (hand-rolled clients often omit it); anything else must be a
+// JSON media type ("application/json", optionally with parameters, or an
+// "+json" suffix type).
+func requireJSON(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ct := r.Header.Get("Content-Type")
+		if ct != "" {
+			mt, _, err := mime.ParseMediaType(ct)
+			if err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
+				writeError(w, http.StatusUnsupportedMediaType,
+					fmt.Errorf("unsupported content type %q (want application/json)", ct))
+				return
+			}
+		}
+		next(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -78,6 +111,7 @@ type HealthResponse struct {
 	QueueDepth   int            `json:"queue_depth"`
 	Jobs         map[Status]int `json:"jobs"`
 	Explorations map[Status]int `json:"explorations"`
+	Reports      map[Status]int `json:"reports"`
 	Cache        CacheStats     `json:"cache"`
 }
 
@@ -86,10 +120,13 @@ type errorResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading job spec: %w", err))
+		return
+	}
+	spec, err := DecodeSpec(body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
@@ -135,10 +172,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitExploration(w http.ResponseWriter, r *http.Request) {
-	var spec explore.Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading exploration spec: %w", err))
+		return
+	}
+	spec, err := explore.DecodeSpec(body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding exploration spec: %w", err))
 		return
 	}
@@ -181,6 +221,58 @@ func (s *Server) handleExplorationResults(w http.ResponseWriter, r *http.Request
 	writeJSON(w, http.StatusOK, report)
 }
 
+func (s *Server) handleSubmitReport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading report spec: %w", err))
+		return
+	}
+	// The shared strict decoder keeps the HTTP and offline (cmd/tables,
+	// adasimctl -spec) contracts identical by construction.
+	spec, err := report.DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding report spec: %w", err))
+		return
+	}
+	view, err := s.d.SubmitReport(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.d.Report(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown report %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleReportResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	result, _, ok, err := s.d.ReportResults(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown report %q", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	// The result is served as-is (it already carries the spec hash and no
+	// volatile fields), so two reports of the same spec produce
+	// byte-identical responses.
+	writeJSON(w, http.StatusOK, result)
+}
+
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	resp := ScenariosResponse{DefaultGaps: scenario.InitialGaps(), Families: scengen.Families()}
 	for _, id := range scenario.All() {
@@ -204,6 +296,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:   s.d.QueueDepth(),
 		Jobs:         s.d.JobCounts(),
 		Explorations: s.d.ExplorationCounts(),
+		Reports:      s.d.ReportCounts(),
 		Cache:        s.d.Cache().Stats(),
 	})
 }

@@ -14,6 +14,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -165,6 +166,19 @@ func (s JobSpec) Hash() (string, error) {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// DecodeSpec strictly parses a JSON job spec, rejecting unknown fields —
+// the submission endpoint, the CLI's -spec path, and the fuzzer all use
+// it, so a typo fails identically everywhere.
+func DecodeSpec(b []byte) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, err
+	}
+	return spec, nil
 }
 
 // PlannedRun is one executable unit of a job: the run key, the fully
