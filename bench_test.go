@@ -451,6 +451,76 @@ func BenchmarkReportThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkMixedWorkloadThroughput measures the unified task runtime
+// under a mixed workload: per op, one bulk report is already running,
+// a second bulk report and four interactive jobs are queued behind it,
+// and the priority queue must dispatch every interactive job ahead of
+// the queued bulk report (asserted) — the fairness contract the
+// priority classes exist for. Everything runs cold (distinct seeds per
+// op), so ns/op tracks real mixed-queue throughput.
+func BenchmarkMixedWorkloadThroughput(b *testing.B) {
+	d, err := service.NewDispatcher(service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Drain(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	jobSpec := func(seed int64) service.JobSpec {
+		return service.JobSpec{
+			Scenarios:     []scenario.ID{scenario.S1},
+			Gaps:          []float64{60},
+			Reps:          1,
+			Steps:         600,
+			BaseSeed:      seed,
+			Fault:         fi.DefaultParams(fi.TargetMixed),
+			Interventions: core.InterventionSet{Driver: true, SafetyCheck: true},
+		}
+	}
+	b.ResetTimer()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		base := int64(i)*100 + 1
+		rspec := report.Spec{Artifacts: []string{report.Table4}, Reps: 1, Steps: 600, BaseSeed: base}
+		running, err := d.SubmitReport(rspec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rspec.BaseSeed = base + 1
+		queued, err := d.SubmitReport(rspec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs := make([]service.TaskView, 4)
+		for j := range jobs {
+			if jobs[j], err = d.Submit(jobSpec(base + int64(j) + 2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, id := range []string{running.ID, queued.ID, jobs[0].ID, jobs[1].ID, jobs[2].ID, jobs[3].ID} {
+			<-d.TaskDone(id)
+			view, _ := d.Task(id)
+			if view.Status != service.StatusDone {
+				b.Fatalf("task %s: %s (%s)", id, view.Status, view.Error)
+			}
+			runs += view.CompletedRuns
+		}
+		bulk, _ := d.Task(queued.ID)
+		for j := range jobs {
+			view, _ := d.Task(jobs[j].ID)
+			if view.FinishedAt.After(*bulk.FinishedAt) {
+				b.Fatalf("interactive job %s finished after the queued bulk report %s",
+					view.ID, bulk.ID)
+			}
+		}
+	}
+	b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+}
+
 // BenchmarkExploreBoundarySearch measures one hazard-boundary search
 // over the generated cut-in family end to end: bracketing plus bisection
 // probes (shortened runs) executed through a long-lived platform pool,

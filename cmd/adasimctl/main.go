@@ -16,8 +16,13 @@
 //	report           submit a paper-artifact report; -wait blocks
 //	report-status    show a report's status and progress
 //	report-results   fetch a finished report's artifacts
+//	task             uniform verbs over any task kind:
+//	                   task status|results|wait|cancel -id <task-id>
 //	scenarios        list the scenario catalogue (including families)
-//	health           show daemon health, pool, and cache counters
+//	health           show daemon health, queue, pool, and cache counters
+//
+// The submit verbs accept -priority interactive|bulk to override the
+// kind's default scheduling class.
 //
 // Examples:
 //
@@ -27,6 +32,8 @@
 //	adasimctl explore -family cut-in -boundary-axis trigger_gap -driver -fault curv -wait
 //	adasimctl explore -family cut-in -method lhs -samples 32 -axes "trigger_gap=5:60" -wait
 //	adasimctl report -artifacts table6,fig6 -reps 2 -wait
+//	adasimctl task status -id r000002-5e6f7a8b
+//	adasimctl task cancel -id r000002-5e6f7a8b
 package main
 
 import (
@@ -55,7 +62,8 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|scenarios|health> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|task|scenarios|health> [flags]")
+		fmt.Fprintln(os.Stderr, "       adasimctl task <status|results|wait|cancel> -id <task-id>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -86,6 +94,8 @@ func run() error {
 		return cmdIDGet(c, args, "/v1/reports/", "")
 	case "report-results":
 		return cmdIDGet(c, args, "/v1/reports/", "/results")
+	case "task":
+		return cmdTask(c, args)
 	case "scenarios":
 		return getPrint(c, "/v1/scenarios")
 	case "health":
@@ -111,6 +121,7 @@ func cmdSubmit(c *client.Client, args []string) error {
 		check     = fs.Bool("check", false, "enable the firmware safety checker")
 		aeb       = fs.String("aeb", "off", "AEBS source: off|comp|indep")
 		monitor   = fs.Bool("monitor", false, "enable the runtime anomaly monitor")
+		priority  = fs.String("priority", "", "scheduling class: interactive|bulk (default: kind default)")
 		wait      = fs.Bool("wait", false, "wait for completion and print the results")
 	)
 	fs.Parse(args)
@@ -134,21 +145,7 @@ func cmdSubmit(c *client.Client, args []string) error {
 		}
 	}
 
-	var view service.JobView
-	if err := c.PostJSON("/v1/jobs", spec, &view); err != nil {
-		return err
-	}
-	if !*wait {
-		return printJSON(view)
-	}
-	final, err := c.WaitJob(view.ID)
-	if err != nil {
-		return err
-	}
-	if final.Status != service.StatusDone {
-		return fmt.Errorf("job %s %s: %s", final.ID, final.Status, final.Error)
-	}
-	return getPrint(c, "/v1/jobs/"+final.ID+"/results")
+	return submitAndMaybeWait(c, "jobs", spec, *priority, *wait)
 }
 
 func specFromFlags(scenarioArg, gapArg string, reps, steps int, seed, salt int64,
@@ -190,6 +187,7 @@ func cmdJobGet(c *client.Client, args []string, suffix string) error {
 func cmdExplore(c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	specPath := fs.String("spec", "", "exploration spec JSON file ('-' = stdin); overrides the spec flags")
+	priority := fs.String("priority", "", "scheduling class: interactive|bulk (default: kind default)")
 	wait := fs.Bool("wait", false, "wait for completion and print the report")
 	var sf explore.SpecFlags
 	sf.Register(fs)
@@ -209,21 +207,7 @@ func cmdExplore(c *client.Client, args []string) error {
 		return err
 	}
 
-	var view service.ExplorationView
-	if err := c.PostJSON("/v1/explorations", spec, &view); err != nil {
-		return err
-	}
-	if !*wait {
-		return printJSON(view)
-	}
-	final, err := c.WaitExploration(view.ID)
-	if err != nil {
-		return err
-	}
-	if final.Status != service.StatusDone {
-		return fmt.Errorf("exploration %s %s: %s", final.ID, final.Status, final.Error)
-	}
-	return getPrint(c, "/v1/explorations/"+final.ID+"/results")
+	return submitAndMaybeWait(c, "explorations", spec, *priority, *wait)
 }
 
 func cmdReport(c *client.Client, args []string) error {
@@ -234,6 +218,7 @@ func cmdReport(c *client.Client, args []string) error {
 		reps      = fs.Int("reps", 0, "repetitions per configuration (0 = paper's 10)")
 		steps     = fs.Int("steps", 0, "steps per run (0 = paper default)")
 		seed      = fs.Int64("seed", 1, "base seed")
+		priority  = fs.String("priority", "", "scheduling class: interactive|bulk (default: kind default)")
 		wait      = fs.Bool("wait", false, "wait for completion and print the artifacts")
 	)
 	fs.Parse(args)
@@ -256,42 +241,94 @@ func cmdReport(c *client.Client, args []string) error {
 		}
 	}
 
-	var view service.ReportView
-	if err := c.PostJSON("/v1/reports", spec, &view); err != nil {
+	return submitAndMaybeWait(c, "reports", spec, *priority, *wait)
+}
+
+// submitAndMaybeWait is the one submission flow every kind shares:
+// submit through the unified task API (with an optional priority-class
+// override), then either print the accepted view or wait for a terminal
+// state and print the byte-exact results.
+func submitAndMaybeWait(c *client.Client, kind string, spec any, priority string, wait bool) error {
+	view, err := c.SubmitTask(kind, spec, service.PriorityClass(priority))
+	if err != nil {
 		return err
 	}
-	if !*wait {
+	if !wait {
 		return printJSON(view)
 	}
-	final, err := c.WaitReport(view.ID)
+	final, err := c.WaitTask(view.ID)
 	if err != nil {
 		return err
 	}
 	if final.Status != service.StatusDone {
-		return fmt.Errorf("report %s %s: %s", final.ID, final.Status, final.Error)
+		return fmt.Errorf("%s %s %s: %s", final.Kind, final.ID, final.Status, final.Error)
 	}
-	return getPrint(c, "/v1/reports/"+final.ID+"/results")
+	return getPrint(c, "/v1/tasks/"+final.ID+"/results")
+}
+
+// cmdTask is the uniform verb surface of the unified task API: the same
+// status/results/wait/cancel flow for every kind, addressed by task ID.
+func cmdTask(c *client.Client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: adasimctl task <status|results|wait|cancel> -id <task-id>")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "status":
+		return cmdIDGet(c, rest, "/v1/tasks/", "")
+	case "results":
+		return cmdIDGet(c, rest, "/v1/tasks/", "/results")
+	case "wait":
+		id, err := parseID(rest)
+		if err != nil {
+			return err
+		}
+		view, err := c.WaitTask(id)
+		if err != nil {
+			return err
+		}
+		return printJSON(view)
+	case "cancel":
+		id, err := parseID(rest)
+		if err != nil {
+			return err
+		}
+		view, err := c.CancelTask(id)
+		if err != nil {
+			return err
+		}
+		return printJSON(view)
+	default:
+		return fmt.Errorf("unknown task verb %q (want status|results|wait|cancel)", sub)
+	}
+}
+
+// parseID extracts the -id flag.
+func parseID(args []string) (string, error) {
+	fs := flag.NewFlagSet("task", flag.ExitOnError)
+	id := fs.String("id", "", "task id")
+	fs.Parse(args)
+	if *id == "" {
+		return "", fmt.Errorf("-id is required")
+	}
+	return *id, nil
 }
 
 // cmdIDGet fetches <prefix><id><suffix> for the -id flag.
 func cmdIDGet(c *client.Client, args []string, prefix, suffix string) error {
-	fs := flag.NewFlagSet("get", flag.ExitOnError)
-	id := fs.String("id", "", "record id")
-	fs.Parse(args)
-	if *id == "" {
-		return fmt.Errorf("-id is required")
+	id, err := parseID(args)
+	if err != nil {
+		return err
 	}
-	return getPrint(c, prefix+*id+suffix)
+	return getPrint(c, prefix+id+suffix)
 }
 
 func cmdWait(c *client.Client, args []string) error {
-	fs := flag.NewFlagSet("wait", flag.ExitOnError)
-	id := fs.String("id", "", "job id")
-	fs.Parse(args)
-	if *id == "" {
-		return fmt.Errorf("-id is required")
+	id, err := parseID(args)
+	if err != nil {
+		return err
 	}
-	view, err := c.WaitJob(*id)
+	view, err := c.WaitJob(id)
 	if err != nil {
 		return err
 	}

@@ -10,7 +10,8 @@
 //	adasimd -cache-dir /var/cache/adasim     # persistent result store
 //
 // SIGINT/SIGTERM triggers a graceful drain: submissions are rejected
-// with 503, queued and running jobs finish, then the process exits.
+// with 503, queued and running tasks finish (canceled ones are
+// skipped), then the process exits.
 package main
 
 import (
@@ -42,7 +43,8 @@ func run() error {
 		queueSize    = flag.Int("queue", 64, "bounded job queue capacity")
 		cacheEntries = flag.Int("cache-entries", 4096, "in-memory result cache entries")
 		cacheDir     = flag.String("cache-dir", "", "optional on-disk result store directory")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to finish jobs on shutdown")
+		ageAfter     = flag.Int("age-after", 0, "promote waiting bulk work after this many interactive overtakes (0 = default 4)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to finish tasks on shutdown")
 	)
 	flag.Parse()
 
@@ -51,6 +53,7 @@ func run() error {
 		QueueSize:    *queueSize,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		AgeAfter:     *ageAfter,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,11 @@
 // service. cmd/adasimctl is a thin wrapper around it, and the end-to-end
 // tests drive the real server through the same code paths, so the CLI's
 // wire behaviour is exactly what the tests pin.
+//
+// The generic task methods (SubmitTask, Task, TaskResults, WaitTask,
+// CancelTask) speak the unified /v1/tasks API and work for every
+// registered kind; the typed helpers (WaitJob, ...) are aliases kept
+// for the pre-runtime surface.
 package client
 
 import (
@@ -10,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -81,6 +87,20 @@ func (c *Client) GetRaw(path string) ([]byte, error) {
 	return b, nil
 }
 
+// Delete issues a DELETE and decodes the response into out (which may
+// be nil).
+func (c *Client) Delete(path string, out any) error {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
 // statusError turns a non-2xx response into an error, extracting the
 // server's {"error": ...} body when present.
 func statusError(status string, body []byte) error {
@@ -93,48 +113,66 @@ func statusError(status string, body []byte) error {
 	return fmt.Errorf("%s: %s", status, strings.TrimSpace(string(body)))
 }
 
-// WaitJob polls the job until it reaches a terminal state.
-func (c *Client) WaitJob(id string) (service.JobView, error) {
+// SubmitTask submits a spec to the unified task API. kind is the route
+// segment ("jobs", "explorations", "reports"); priority, when
+// non-empty, overrides the kind's default scheduling class.
+func (c *Client) SubmitTask(kind string, spec any, priority service.PriorityClass) (service.TaskView, error) {
+	path := "/v1/tasks/" + kind
+	if priority != "" {
+		path += "?" + url.Values{"priority": {string(priority)}}.Encode()
+	}
+	var view service.TaskView
+	err := c.PostJSON(path, spec, &view)
+	return view, err
+}
+
+// Task fetches a task's status snapshot by ID, any kind.
+func (c *Client) Task(id string) (service.TaskView, error) {
+	var view service.TaskView
+	err := c.GetJSON("/v1/tasks/"+id, &view)
+	return view, err
+}
+
+// TaskResults fetches a finished task's results in the kind's wire
+// format, byte-exact.
+func (c *Client) TaskResults(id string) ([]byte, error) {
+	return c.GetRaw("/v1/tasks/" + id + "/results")
+}
+
+// CancelTask requests cooperative cancellation of a task.
+func (c *Client) CancelTask(id string) (service.TaskView, error) {
+	var view service.TaskView
+	err := c.Delete("/v1/tasks/"+id, &view)
+	return view, err
+}
+
+// WaitTask polls the task until it reaches a terminal state (done,
+// failed, or canceled).
+func (c *Client) WaitTask(id string) (service.TaskView, error) {
 	for {
-		var view service.JobView
-		if err := c.GetJSON("/v1/jobs/"+id, &view); err != nil {
+		view, err := c.Task(id)
+		if err != nil {
 			return view, err
 		}
-		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
+		switch view.Status {
+		case service.StatusDone, service.StatusFailed, service.StatusCanceled:
 			return view, nil
 		}
 		time.Sleep(c.poll())
 	}
 }
+
+// WaitJob polls the job until it reaches a terminal state.
+func (c *Client) WaitJob(id string) (service.JobView, error) { return c.WaitTask(id) }
 
 // WaitExploration polls the exploration until it reaches a terminal
 // state.
 func (c *Client) WaitExploration(id string) (service.ExplorationView, error) {
-	for {
-		var view service.ExplorationView
-		if err := c.GetJSON("/v1/explorations/"+id, &view); err != nil {
-			return view, err
-		}
-		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
-			return view, nil
-		}
-		time.Sleep(c.poll())
-	}
+	return c.WaitTask(id)
 }
 
 // WaitReport polls the report until it reaches a terminal state.
-func (c *Client) WaitReport(id string) (service.ReportView, error) {
-	for {
-		var view service.ReportView
-		if err := c.GetJSON("/v1/reports/"+id, &view); err != nil {
-			return view, err
-		}
-		if view.Status == service.StatusDone || view.Status == service.StatusFailed {
-			return view, nil
-		}
-		time.Sleep(c.poll())
-	}
-}
+func (c *Client) WaitReport(id string) (service.ReportView, error) { return c.WaitTask(id) }
 
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()

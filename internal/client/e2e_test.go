@@ -183,6 +183,109 @@ func TestEndToEndReportMatchesEngine(t *testing.T) {
 	}
 }
 
+// TestEndToEndUnifiedTaskAPI drives the generic task client over the
+// real server: submit through /v1/tasks/{kind}, wait and fetch results
+// through /v1/tasks/{id}, and byte-compare against the legacy per-kind
+// route — the alias contract.
+func TestEndToEndUnifiedTaskAPI(t *testing.T) {
+	c, _ := bootServer(t)
+	spec := service.JobSpec{
+		Scenarios:     []scenario.ID{scenario.S1},
+		Gaps:          []float64{60},
+		Reps:          1,
+		Steps:         300,
+		BaseSeed:      9,
+		Fault:         fi.DefaultParams(fi.TargetRelDistance),
+		Interventions: core.InterventionSet{Driver: true},
+	}
+	view, err := c.SubmitTask("jobs", spec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Kind != "job" || view.Priority != service.PriorityInteractive {
+		t.Errorf("submitted view = %+v", view)
+	}
+	final, err := c.WaitTask(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusDone {
+		t.Fatalf("task = %+v", final)
+	}
+	generic, err := c.TaskResults(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := c.GetRaw("/v1/jobs/" + view.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(generic, legacy) {
+		t.Error("unified and legacy results routes are not byte-identical")
+	}
+	// Priority override is visible on the accepted view.
+	bulk, err := c.SubmitTask("jobs", spec, service.PriorityBulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Priority != service.PriorityBulk {
+		t.Errorf("bulk-submitted view priority = %q", bulk.Priority)
+	}
+	if _, err := c.WaitTask(bulk.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEndToEndCancel exercises cancellation through the client: a
+// submitted task is canceled (queued: it never runs; running: it stops
+// between runs), and WaitTask returns its terminal canceled view.
+func TestEndToEndCancel(t *testing.T) {
+	c, d := bootServer(t)
+	// Occupy the scheduler so the next submission stays queued long
+	// enough to cancel (fault-free runs never terminate early).
+	occupier := service.JobSpec{
+		Scenarios:     []scenario.ID{scenario.S1},
+		Gaps:          []float64{60},
+		Reps:          100,
+		Steps:         8000,
+		BaseSeed:      31,
+		Interventions: core.InterventionSet{Driver: true},
+	}
+	occ, err := c.SubmitTask("jobs", occupier, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := occupier
+	victim.BaseSeed = 32
+	v, err := c.SubmitTask("jobs", victim, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, err := c.CancelTask(v.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	final, err := c.WaitTask(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != service.StatusCanceled {
+		t.Errorf("canceled task = %+v (cancel view %+v)", final, canceled)
+	}
+	if _, err := c.TaskResults(v.ID); err == nil {
+		t.Error("canceled task served results")
+	}
+	// Cancel the occupier too (it is running by now or already done);
+	// either outcome is a valid state-machine edge, but the dispatcher
+	// must end with every record terminal after drain.
+	c.CancelTask(occ.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 func TestClientErrorSurface(t *testing.T) {
 	c, _ := bootServer(t)
 	if err := c.PostJSON("/v1/reports", report.Spec{Artifacts: []string{"bogus"}}, nil); err == nil {

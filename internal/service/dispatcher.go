@@ -9,25 +9,25 @@ import (
 	"time"
 
 	"adasim/internal/experiments"
+	"adasim/internal/explore"
 	"adasim/internal/metrics"
+	"adasim/internal/report"
 )
 
-// Job status values.
-type Status string
-
-const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
-)
-
-// Sentinel errors surfaced by Submit.
+// Sentinel errors surfaced by the task runtime.
 var (
-	// ErrQueueFull means the bounded FIFO job queue is at capacity.
-	ErrQueueFull = errors.New("service: job queue full")
-	// ErrDraining means the dispatcher no longer accepts jobs.
+	// ErrQueueFull means the bounded task queue is at capacity.
+	ErrQueueFull = errors.New("service: task queue full")
+	// ErrDraining means the dispatcher no longer accepts tasks.
 	ErrDraining = errors.New("service: dispatcher draining")
+	// ErrCanceled means a task stopped because its cancellation was
+	// requested; partial results are discarded.
+	ErrCanceled = errors.New("service: task canceled")
+	// ErrUnknownTask means no record exists for the requested task ID.
+	ErrUnknownTask = errors.New("service: unknown task")
+	// ErrTaskTerminal means the task already reached a terminal state,
+	// so a cancellation request has nothing to stop.
+	ErrTaskTerminal = errors.New("service: task already terminal")
 )
 
 // Config sizes the dispatcher.
@@ -35,22 +35,28 @@ type Config struct {
 	// Workers is the number of pool shards; each owns one long-lived
 	// platform. Zero means GOMAXPROCS.
 	Workers int
-	// QueueSize bounds the FIFO job queue. Zero means 64.
+	// QueueSize bounds the task queue (all kinds and priority classes
+	// combined). Zero means 64.
 	QueueSize int
 	// CacheEntries bounds the in-memory result cache. Zero means 4096.
 	CacheEntries int
 	// CacheDir, when non-empty, enables the on-disk result store.
 	CacheDir string
-	// MaxJobRecords bounds how many finished (done or failed) job
-	// records — including their result slices — are retained for
-	// status/results queries. The oldest finished jobs are evicted
-	// first; queued and running jobs are never evicted. Zero means 4096.
+	// MaxJobRecords bounds how many finished standard-retention task
+	// records (jobs and explorations — runs/probes plus counters) are
+	// retained for status/results queries. The oldest finished records
+	// are evicted first; queued and running tasks are never evicted.
+	// Zero means 4096.
 	MaxJobRecords int
-	// MaxReportRecords bounds finished report records separately: a
-	// report retains its full rendered artifacts (~0.5 MB for a
-	// full-spec report), an order of magnitude heavier than a job or
-	// exploration record, so its cap is much smaller. Zero means 256.
+	// MaxReportRecords bounds finished heavy-retention records
+	// separately: a report retains its full rendered artifacts (~0.5 MB
+	// for a full-spec report), an order of magnitude heavier than a job
+	// or exploration record, so its cap is much smaller. Zero means 256.
 	MaxReportRecords int
+	// AgeAfter is the aging rule of the priority queue: after this many
+	// interactive dispatches have overtaken waiting bulk work, the next
+	// dispatch must be the oldest bulk task. Zero means 4.
+	AgeAfter int
 }
 
 func (c Config) normalized() Config {
@@ -69,72 +75,46 @@ func (c Config) normalized() Config {
 	if c.MaxReportRecords <= 0 {
 		c.MaxReportRecords = 256
 	}
+	if c.AgeAfter <= 0 {
+		c.AgeAfter = 4
+	}
 	return c
 }
 
-// JobView is a point-in-time snapshot of a job, shaped for the API.
-type JobView struct {
-	ID            string     `json:"id"`
-	SpecHash      string     `json:"spec_hash"`
-	Status        Status     `json:"status"`
-	TotalRuns     int        `json:"total_runs"`
-	CompletedRuns int        `json:"completed_runs"`
-	CacheHits     int        `json:"cache_hits"`
-	Error         string     `json:"error,omitempty"`
-	SubmittedAt   time.Time  `json:"submitted_at"`
-	StartedAt     *time.Time `json:"started_at,omitempty"`
-	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+// retentionCap maps a retention class to its configured record cap.
+func (c Config) retentionCap(class RetentionClass) int {
+	if class == RetentionHeavy {
+		return c.MaxReportRecords
+	}
+	return c.MaxJobRecords
 }
 
-// job is the dispatcher-internal job record. Mutable fields are guarded
-// by the owning Dispatcher's mu.
-type job struct {
-	id   string
-	spec JobSpec
-	hash string
-	plan []PlannedRun
-
-	status      Status
-	completed   int
-	cacheHits   int
-	errMsg      string
-	submittedAt time.Time
-	startedAt   *time.Time
-	finishedAt  *time.Time
-	results     []experiments.RunOutcome // set once status is done
-	done        chan struct{}            // closed on done/failed
-}
-
-// Dispatcher owns the job queue, the worker pool, and the result cache.
+// Dispatcher owns the task queue, the worker pool, and the result cache.
 //
-// Jobs are admitted into a bounded FIFO queue and executed strictly in
-// submission order by a single scheduler goroutine; each job's runs fan
-// out over the shared pool of worker shards. A shard is a goroutine that
-// owns one experiments.Runner — one long-lived core.Platform serviced via
-// Reset — so the steady-state cost of a run is the closed loop itself,
-// never platform construction. Results land in per-job slots indexed by
-// the canonical run order, which keeps job output independent of shard
+// Tasks of every registered kind are admitted into one bounded priority
+// queue and executed one at a time by a single scheduler goroutine:
+// FIFO within a priority class, interactive ahead of bulk, with the
+// aging rule bounding how long bulk work waits. Each task's runs fan out
+// over the shared pool of worker shards. A shard is a goroutine that
+// owns one experiments.Runner — one long-lived core.Platform serviced
+// via Reset — so the steady-state cost of a run is the closed loop
+// itself, never platform construction. Results land in slots indexed by
+// the canonical run order, which keeps task output independent of shard
 // count and task interleaving.
 type Dispatcher struct {
 	cfg   Config
 	cache *ResultCache
 
 	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // job IDs in submission order, for retention eviction
+	cond  *sync.Cond // signals queue activity to the scheduler
+	tasks map[string]*task
+	order []string // task IDs in submission order, for retention eviction
+	queue taskQueue
 	seq   int
 
-	expls     map[string]*exploration
-	explOrder []string // exploration IDs in submission order
-
-	reports  map[string]*reportRecord
-	repOrder []string // report IDs in submission order
-
-	jobCh  chan queueItem
 	taskCh chan runTask
 
 	draining  bool
-	drainOnce sync.Once
 	tasksOnce sync.Once
 	schedDone chan struct{}
 	workerWG  sync.WaitGroup
@@ -150,13 +130,11 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 	d := &Dispatcher{
 		cfg:       cfg,
 		cache:     cache,
-		jobs:      make(map[string]*job),
-		expls:     make(map[string]*exploration),
-		reports:   make(map[string]*reportRecord),
-		jobCh:     make(chan queueItem, cfg.QueueSize),
+		tasks:     make(map[string]*task),
 		taskCh:    make(chan runTask),
 		schedDone: make(chan struct{}),
 	}
+	d.cond = sync.NewCond(&d.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		d.workerWG.Add(1)
 		go d.worker()
@@ -171,119 +149,226 @@ func (d *Dispatcher) Cache() *ResultCache { return d.cache }
 // Workers returns the shard count.
 func (d *Dispatcher) Workers() int { return d.cfg.Workers }
 
-// QueueDepth returns the number of jobs waiting in the FIFO queue.
-func (d *Dispatcher) QueueDepth() int { return len(d.jobCh) }
+// QueueDepth returns the number of tasks waiting in the queue.
+func (d *Dispatcher) QueueDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queue.depth()
+}
 
-// Draining reports whether the dispatcher has stopped accepting jobs.
+// QueueStats snapshots the queue backlog per kind and priority class.
+func (d *Dispatcher) QueueStats() QueueStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	qs := QueueStats{
+		Depth:   d.queue.depth(),
+		ByKind:  make(map[string]int, len(taskKinds)),
+		ByClass: map[string]int{string(PriorityInteractive): len(d.queue.interactive), string(PriorityBulk): len(d.queue.bulk)},
+	}
+	// Keyed by the plural route segment, consistent with TaskCounts and
+	// the /healthz tasks map.
+	for _, k := range taskKinds {
+		qs.ByKind[k.Plural] = 0
+	}
+	for _, class := range [][]*task{d.queue.interactive, d.queue.bulk} {
+		for _, t := range class {
+			qs.ByKind[t.kind.Plural]++
+		}
+	}
+	return qs
+}
+
+// Draining reports whether the dispatcher has stopped accepting tasks.
 func (d *Dispatcher) Draining() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.draining
 }
 
-// Submit validates, normalizes, and enqueues a job spec. It never
-// blocks: a full queue returns ErrQueueFull.
-func (d *Dispatcher) Submit(spec JobSpec) (JobView, error) {
-	norm := spec.Normalized()
-	if err := norm.Validate(); err != nil {
-		return JobView{}, err
+// SubmitTask prepares (normalizes, validates, hashes) and enqueues a
+// task of the given kind. An empty priority means the kind's default
+// class. It never blocks: a full queue returns ErrQueueFull.
+func (d *Dispatcher) SubmitTask(kind *TaskKind, spec TaskSpec, priority PriorityClass) (TaskView, error) {
+	// Validate here, not only in the HTTP handler, so Go callers cannot
+	// enqueue a class the queue does not schedule.
+	if _, err := ParsePriority(string(priority)); err != nil {
+		return TaskView{}, err
 	}
-	hash, err := norm.Hash()
+	prep, err := spec.Prepare()
 	if err != nil {
-		return JobView{}, err
+		return TaskView{}, err
 	}
-	plan, err := norm.Plan()
-	if err != nil {
-		return JobView{}, err
+	if priority == "" {
+		priority = kind.Priority
 	}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.draining {
-		return JobView{}, ErrDraining
+		return TaskView{}, ErrDraining
+	}
+	if d.queue.depth() >= d.cfg.QueueSize {
+		return TaskView{}, ErrQueueFull
 	}
 	d.seq++
-	j := &job{
-		id:          fmt.Sprintf("j%06d-%s", d.seq, hash[:8]),
-		spec:        norm,
-		hash:        hash,
-		plan:        plan,
+	t := &task{
+		id:          fmt.Sprintf("%s%06d-%s", kind.Prefix, d.seq, prep.Hash[:8]),
+		kind:        kind,
+		hash:        prep.Hash,
+		prep:        prep,
+		priority:    priority,
 		status:      StatusQueued,
 		submittedAt: time.Now().UTC(),
 		done:        make(chan struct{}),
 	}
-	select {
-	case d.jobCh <- j:
-	default:
-		d.seq-- // the job never existed
-		return JobView{}, ErrQueueFull
-	}
-	d.jobs[j.id] = j
-	d.order = append(d.order, j.id)
-	return d.viewLocked(j), nil
+	d.queue.push(t)
+	d.tasks[t.id] = t
+	d.order = append(d.order, t.id)
+	d.cond.Signal()
+	return d.viewLocked(t), nil
 }
 
-// Job returns a snapshot of the job, if known.
-func (d *Dispatcher) Job(id string) (JobView, bool) {
+// Task returns a snapshot of the task, if known.
+func (d *Dispatcher) Task(id string) (TaskView, bool) { return d.taskView(id, nil) }
+
+// taskView returns a snapshot of the task if it is known, optionally
+// constrained to a kind (nil = any) — the legacy per-kind routes must
+// not serve records of another kind.
+func (d *Dispatcher) taskView(id string, kind *TaskKind) (TaskView, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	j, ok := d.jobs[id]
-	if !ok {
-		return JobView{}, false
+	t, ok := d.tasks[id]
+	if !ok || (kind != nil && t.kind != kind) {
+		return TaskView{}, false
 	}
-	return d.viewLocked(j), true
+	return d.viewLocked(t), true
 }
 
-// Results returns the job's results once it is done. The boolean is
-// false for unknown jobs; the error reports a job that has not finished
-// (or failed).
-func (d *Dispatcher) Results(id string) ([]experiments.RunOutcome, string, bool, error) {
+// taskResult returns the task's kind-specific result once it is done,
+// optionally constrained to a kind (nil = any): the typed legacy
+// accessors must treat an ID of another kind as unknown in every
+// status, not only once it is done. The boolean is false for unknown
+// tasks; the error reports a task that has not finished, failed, or was
+// canceled.
+func (d *Dispatcher) taskResult(id string, kind *TaskKind) (any, string, *TaskKind, bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	j, ok := d.jobs[id]
-	if !ok {
-		return nil, "", false, nil
+	t, ok := d.tasks[id]
+	if !ok || (kind != nil && t.kind != kind) {
+		return nil, "", nil, false, nil
 	}
-	switch j.status {
+	switch t.status {
 	case StatusDone:
-		return j.results, j.hash, true, nil
+		return t.result, t.hash, t.kind, true, nil
 	case StatusFailed:
-		return nil, j.hash, true, fmt.Errorf("service: job %s failed: %s", id, j.errMsg)
+		return nil, t.hash, t.kind, true, fmt.Errorf("service: %s %s failed: %s", t.kind.Name, id, t.errMsg)
+	case StatusCanceled:
+		return nil, t.hash, t.kind, true, fmt.Errorf("service: %s %s was canceled", t.kind.Name, id)
 	default:
-		return nil, j.hash, true, fmt.Errorf("service: job %s is %s", id, j.status)
+		return nil, t.hash, t.kind, true, fmt.Errorf("service: %s %s is %s", t.kind.Name, id, t.status)
 	}
 }
 
-// Done returns a channel closed when the job reaches a terminal state,
-// or nil for unknown jobs.
-func (d *Dispatcher) Done(id string) <-chan struct{} {
+// TaskResults returns the wire-shaped results of a finished task: the
+// kind's Wire marshal applied to the result, a pure function of the
+// normalized spec.
+func (d *Dispatcher) TaskResults(id string) (any, bool, error) {
+	result, hash, kind, ok, err := d.taskResult(id, nil)
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	return kind.Wire(hash, result), true, nil
+}
+
+// TaskDone returns a channel closed when the task reaches a terminal
+// state, or nil for unknown tasks.
+func (d *Dispatcher) TaskDone(id string) <-chan struct{} {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if j, ok := d.jobs[id]; ok {
-		return j.done
+	if t, ok := d.tasks[id]; ok {
+		return t.done
 	}
 	return nil
 }
 
-// JobCounts returns the number of jobs per status.
-func (d *Dispatcher) JobCounts() map[Status]int {
+// Cancel requests cooperative cancellation of a task:
+//
+//   - queued: canceled immediately — removed from the queue, terminal,
+//     it never runs;
+//   - running: the cancel flag is set; the task stops between runs,
+//     discards partial results, and lands in StatusCanceled (repeated
+//     cancels of a running task are idempotent);
+//   - terminal: ErrTaskTerminal;
+//   - unknown: ErrUnknownTask.
+//
+// The returned view snapshots the task after the request was applied.
+func (d *Dispatcher) Cancel(id string) (TaskView, error) { return d.cancelTask(id, nil) }
+
+// cancelTask is Cancel constrained to a kind (nil = any), so the legacy
+// per-kind DELETE aliases resolve and cancel in one locked lookup.
+func (d *Dispatcher) cancelTask(id string, kind *TaskKind) (TaskView, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	counts := make(map[Status]int, 4)
-	for _, j := range d.jobs {
-		counts[j.status]++
+	t, ok := d.tasks[id]
+	if !ok || (kind != nil && t.kind != kind) {
+		return TaskView{}, ErrUnknownTask
+	}
+	switch t.status {
+	case StatusQueued:
+		d.queue.remove(t)
+		t.cancel.Store(true)
+		now := time.Now().UTC()
+		t.finishedAt = &now
+		t.status = StatusCanceled
+		t.errMsg = "canceled while queued"
+		t.prep.Run = nil // release the plan; it will never execute
+		close(t.done)
+		d.pruneLocked()
+	case StatusRunning:
+		t.cancel.Store(true)
+	default:
+		return d.viewLocked(t), ErrTaskTerminal
+	}
+	return d.viewLocked(t), nil
+}
+
+// CountsFor returns the number of retained records per status for one
+// kind.
+func (d *Dispatcher) CountsFor(kind *TaskKind) map[Status]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	counts := make(map[Status]int, 5)
+	for _, t := range d.tasks {
+		if t.kind == kind {
+			counts[t.status]++
+		}
 	}
 	return counts
 }
 
-// Drain stops accepting new jobs, lets every queued and running job
-// finish, then stops the worker shards. It is idempotent; ctx bounds the
-// wait.
+// TaskCounts returns per-kind, per-status record counts (keyed by the
+// kind's plural route segment, matching the API surface).
+func (d *Dispatcher) TaskCounts() map[string]map[Status]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	counts := make(map[string]map[Status]int, len(taskKinds))
+	for _, k := range taskKinds {
+		counts[k.Plural] = make(map[Status]int, 5)
+	}
+	for _, t := range d.tasks {
+		counts[t.kind.Plural][t.status]++
+	}
+	return counts
+}
+
+// Drain stops accepting new tasks, lets every queued and running task
+// finish (canceled queued tasks are skipped, honoring the cancellation),
+// then stops the worker shards. It is idempotent; ctx bounds the wait.
 func (d *Dispatcher) Drain(ctx context.Context) error {
 	d.mu.Lock()
 	d.draining = true
 	d.mu.Unlock()
-	d.drainOnce.Do(func() { close(d.jobCh) })
+	d.cond.Broadcast()
 
 	select {
 	case <-d.schedDone:
@@ -302,35 +387,135 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 	}
 }
 
-func (d *Dispatcher) viewLocked(j *job) JobView {
-	return JobView{
-		ID:            j.id,
-		SpecHash:      j.hash,
-		Status:        j.status,
-		TotalRuns:     len(j.plan),
-		CompletedRuns: j.completed,
-		CacheHits:     j.cacheHits,
-		Error:         j.errMsg,
-		SubmittedAt:   j.submittedAt,
-		StartedAt:     j.startedAt,
-		FinishedAt:    j.finishedAt,
+func (d *Dispatcher) viewLocked(t *task) TaskView {
+	return TaskView{
+		ID:              t.id,
+		Kind:            t.kind.Name,
+		SpecHash:        t.hash,
+		Status:          t.status,
+		Priority:        t.priority,
+		TotalRuns:       t.prep.Total,
+		CompletedRuns:   t.completed,
+		CacheHits:       t.cacheHits,
+		CancelRequested: t.status == StatusRunning && t.cancel.Load(),
+		Error:           t.errMsg,
+		SubmittedAt:     t.submittedAt,
+		StartedAt:       t.startedAt,
+		FinishedAt:      t.finishedAt,
 	}
 }
 
-// queueItem is one unit of FIFO-scheduled work: a campaign job or an
-// exploration. Both share the queue, the worker shards, and the cache.
-type queueItem interface {
-	execute(d *Dispatcher)
-}
-
-func (j *job) execute(d *Dispatcher) { d.executeJob(j) }
-
-// scheduler executes queued work strictly in FIFO order.
+// scheduler executes queued tasks one at a time in priority order (FIFO
+// within a class, interactive first, aging rule for bulk). The popped
+// task transitions to running under the same lock, so a concurrent
+// Cancel can never observe it as still queued.
 func (d *Dispatcher) scheduler() {
 	defer close(d.schedDone)
-	for item := range d.jobCh {
-		item.execute(d)
+	for {
+		d.mu.Lock()
+		for d.queue.empty() && !d.draining {
+			d.cond.Wait()
+		}
+		if d.queue.empty() {
+			d.mu.Unlock()
+			return // draining and drained
+		}
+		t := d.queue.pop(d.cfg.AgeAfter)
+		now := time.Now().UTC()
+		t.status = StatusRunning
+		t.startedAt = &now
+		d.mu.Unlock()
+		d.executeTask(t)
 	}
+}
+
+// executeTask runs one task (already marked running by the scheduler)
+// through its kind's Run on the shard executor, then finalizes the
+// record: done with its result, failed with its error, or canceled with
+// partial results discarded.
+func (d *Dispatcher) executeTask(t *task) {
+	env := TaskEnv{
+		Exec:  shardExecutor{d: d, canceled: t.cancel.Load},
+		Cache: d.cache,
+		Progress: func(completed, cacheHits int) {
+			// Progress callbacks arrive concurrently from worker
+			// goroutines with no ordering guarantee; only ever move the
+			// counters forward so a stale callback cannot make a polled
+			// view regress.
+			d.mu.Lock()
+			if completed > t.completed {
+				t.completed = completed
+			}
+			if cacheHits > t.cacheHits {
+				t.cacheHits = cacheHits
+			}
+			d.mu.Unlock()
+		},
+	}
+	result, stats, err := t.prep.Run(env)
+
+	end := time.Now().UTC()
+	d.mu.Lock()
+	t.finishedAt = &end
+	switch {
+	case errors.Is(err, ErrCanceled) || t.cancel.Load():
+		// Cancellation wins even over a completed Run: the contract is
+		// that a canceled task never publishes results.
+		t.status = StatusCanceled
+		t.errMsg = ErrCanceled.Error()
+	case err != nil:
+		t.status = StatusFailed
+		t.errMsg = err.Error()
+	default:
+		t.status = StatusDone
+		t.completed = stats.Completed
+		t.cacheHits = stats.CacheHits
+		t.result = result
+	}
+	// Terminal records only serve views and results: drop the Run
+	// closure so a retained record costs its result, not its expanded
+	// plan (a 10k-run job's plan is megabytes of resolved options).
+	t.prep.Run = nil
+	d.pruneLocked()
+	d.mu.Unlock()
+	close(t.done)
+}
+
+// pruneLocked evicts the oldest finished task records once a retention
+// class holds more than its cap, so a long-lived daemon's memory is
+// bounded by the record caps rather than its submission history. Queued
+// and running tasks are never evicted. d.mu must be held.
+func (d *Dispatcher) pruneLocked() {
+	for _, class := range []RetentionClass{RetentionStandard, RetentionHeavy} {
+		d.pruneClassLocked(class, d.cfg.retentionCap(class))
+	}
+}
+
+// pruneClassLocked applies the retention cap to one class: once more
+// than max records of the class are finished, the oldest finished ones
+// (in submission order) are evicted until the cap holds. d.mu must be
+// held.
+func (d *Dispatcher) pruneClassLocked(class RetentionClass, max int) {
+	n := 0
+	for _, id := range d.order {
+		if t := d.tasks[id]; t.kind.Class == class && t.status.terminal() {
+			n++
+		}
+	}
+	if n <= max {
+		return
+	}
+	kept := d.order[:0]
+	for _, id := range d.order {
+		t := d.tasks[id]
+		if n > max && t.kind.Class == class && t.status.terminal() {
+			delete(d.tasks, id)
+			n--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	d.order = kept
 }
 
 // runTask is one run dispatched to a worker shard: the planned run plus
@@ -341,112 +526,6 @@ type runTask struct {
 	err  *error
 	wg   *sync.WaitGroup
 	note func()
-}
-
-// executeJob resolves a job: cached runs short-circuit, the rest fan out
-// over the worker shards, and fresh outcomes are written back to the
-// cache.
-func (d *Dispatcher) executeJob(j *job) {
-	now := time.Now().UTC()
-	d.mu.Lock()
-	j.status = StatusRunning
-	j.startedAt = &now
-	d.mu.Unlock()
-
-	outs := make([]experiments.RunOutcome, len(j.plan))
-	errs := make([]error, len(j.plan))
-	var wg sync.WaitGroup
-	var missed []int
-	for i, pr := range j.plan {
-		if out, ok := d.cache.Get(pr.CacheKey); ok {
-			outs[i] = experiments.RunOutcome{Key: pr.Key, Outcome: out}
-			d.mu.Lock()
-			j.completed++
-			j.cacheHits++
-			d.mu.Unlock()
-			continue
-		}
-		missed = append(missed, i)
-	}
-	for _, i := range missed {
-		wg.Add(1)
-		d.taskCh <- runTask{
-			run: j.plan[i],
-			out: &outs[i],
-			err: &errs[i],
-			wg:  &wg,
-			note: func() {
-				d.mu.Lock()
-				j.completed++
-				d.mu.Unlock()
-			},
-		}
-	}
-	wg.Wait()
-
-	var firstErr error
-	for _, i := range missed {
-		if errs[i] != nil {
-			if firstErr == nil {
-				firstErr = errs[i]
-			}
-			continue
-		}
-		d.cache.Put(j.plan[i].CacheKey, outs[i].Outcome)
-	}
-
-	end := time.Now().UTC()
-	d.mu.Lock()
-	j.finishedAt = &end
-	if firstErr != nil {
-		j.status = StatusFailed
-		j.errMsg = firstErr.Error()
-	} else {
-		j.status = StatusDone
-		j.results = outs
-	}
-	d.pruneLocked()
-	d.mu.Unlock()
-	close(j.done)
-}
-
-// pruneLocked evicts the oldest finished job records once more than
-// MaxJobRecords of them are retained, so a long-lived daemon's memory is
-// bounded by the record cap rather than its submission history. Queued
-// and running jobs are never evicted. d.mu must be held.
-func (d *Dispatcher) pruneLocked() {
-	d.order = pruneFinished(d.order, d.cfg.MaxJobRecords,
-		func(id string) bool {
-			j := d.jobs[id]
-			return j.status == StatusDone || j.status == StatusFailed
-		},
-		func(id string) { delete(d.jobs, id) })
-}
-
-// pruneFinished is the shared retention policy of jobs and explorations:
-// once more than max records are finished, the oldest finished ones (in
-// submission order) are evicted until the cap holds. It returns the kept
-// order; unfinished records are never evicted.
-func pruneFinished(order []string, max int, finished func(id string) bool, evict func(id string)) []string {
-	n := 0
-	for _, id := range order {
-		if finished(id) {
-			n++
-		}
-	}
-	if n <= max {
-		return order
-	}
-	kept := order[:0]
-	for _, id := range order {
-		if n > max && finished(id) {
-			evict(id)
-			n--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	return kept
 }
 
 // worker is one pool shard: a goroutine owning one experiments.Runner
@@ -468,7 +547,146 @@ func (d *Dispatcher) worker() {
 	}
 }
 
+// shardExecutor adapts the dispatcher's worker shards to the canonical
+// Executor contract, so every kind's runs — campaign runs, exploration
+// probes, report campaigns — execute on the same long-lived platforms.
+// Cancellation is checked between runs: the task channel is unbuffered,
+// so each send hands one run to a shard, and once the owning task is
+// canceled no further runs are dispatched; in-flight runs finish, then
+// the batch returns ErrCanceled and the partial batch is discarded.
+type shardExecutor struct {
+	d *Dispatcher
+	// canceled, when non-nil, is polled between run dispatches.
+	canceled func() bool
+}
+
+func (se shardExecutor) Execute(reqs []experiments.RunRequest, onDone func(i int, ro experiments.RunOutcome)) ([]experiments.RunOutcome, error) {
+	outs := make([]experiments.RunOutcome, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	dispatched := 0
+	for i := range reqs {
+		if se.canceled != nil && se.canceled() {
+			break
+		}
+		i := i
+		wg.Add(1)
+		se.d.taskCh <- runTask{
+			run: PlannedRun{Key: reqs[i].Key, Opts: reqs[i].Opts},
+			out: &outs[i],
+			err: &errs[i],
+			wg:  &wg,
+			note: func() {
+				if onDone != nil {
+					onDone(i, outs[i])
+				}
+			},
+		}
+		dispatched++
+	}
+	wg.Wait()
+	// On failure or cancellation the partially-filled outs are still
+	// returned: completed runs are valid content-addressed outcomes, and
+	// callers that track per-run completion (executePlan) cache them so
+	// a failed batch does not forfeit the work that did succeed.
+	if dispatched < len(reqs) {
+		return outs, ErrCanceled
+	}
+	for _, err := range errs {
+		if err != nil {
+			return outs, err
+		}
+	}
+	return outs, nil
+}
+
 // AggregateFor computes the campaign aggregate of a result set.
 func AggregateFor(results []experiments.RunOutcome) metrics.Aggregate {
 	return metrics.AggregateOutcomes(experiments.Outcomes(results))
 }
+
+// --- Typed compatibility surface -------------------------------------
+//
+// The pre-runtime API shipped kind-specific methods; they are retained
+// as one-line wrappers over the generic task runtime so existing
+// callers (CLIs, benches, tests) keep working. New kinds need none of
+// this: the generic Submit/Task/TaskResults/TaskDone/Cancel path serves
+// them.
+
+// Submit validates, normalizes, and enqueues a campaign job spec.
+func (d *Dispatcher) Submit(spec JobSpec) (JobView, error) {
+	return d.SubmitTask(JobKind, spec, "")
+}
+
+// Job returns a snapshot of the job, if known.
+func (d *Dispatcher) Job(id string) (JobView, bool) { return d.taskView(id, JobKind) }
+
+// Results returns the job's results once it is done. The boolean is
+// false for unknown jobs; the error reports a job that has not finished
+// (or failed, or was canceled).
+func (d *Dispatcher) Results(id string) ([]experiments.RunOutcome, string, bool, error) {
+	result, hash, _, ok, err := d.taskResult(id, JobKind)
+	if !ok || err != nil {
+		return nil, hash, ok, err
+	}
+	return result.([]experiments.RunOutcome), hash, true, nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state,
+// or nil for unknown jobs.
+func (d *Dispatcher) Done(id string) <-chan struct{} { return d.TaskDone(id) }
+
+// JobCounts returns the number of retained jobs per status.
+func (d *Dispatcher) JobCounts() map[Status]int { return d.CountsFor(JobKind) }
+
+// SubmitExploration validates, normalizes, and enqueues an exploration
+// spec.
+func (d *Dispatcher) SubmitExploration(spec explore.Spec) (ExplorationView, error) {
+	return d.SubmitTask(ExplorationKind, exploreTask{spec: spec}, "")
+}
+
+// Exploration returns a snapshot of the exploration, if known.
+func (d *Dispatcher) Exploration(id string) (ExplorationView, bool) {
+	return d.taskView(id, ExplorationKind)
+}
+
+// ExplorationResults returns the exploration's report once it is done.
+func (d *Dispatcher) ExplorationResults(id string) (*explore.Report, string, bool, error) {
+	result, hash, _, ok, err := d.taskResult(id, ExplorationKind)
+	if !ok || err != nil {
+		return nil, hash, ok, err
+	}
+	return result.(*explore.Report), hash, true, nil
+}
+
+// ExplorationDone returns a channel closed when the exploration reaches
+// a terminal state, or nil for unknown explorations.
+func (d *Dispatcher) ExplorationDone(id string) <-chan struct{} { return d.TaskDone(id) }
+
+// ExplorationCounts returns the number of retained explorations per
+// status.
+func (d *Dispatcher) ExplorationCounts() map[Status]int { return d.CountsFor(ExplorationKind) }
+
+// SubmitReport validates, normalizes, and enqueues a report spec.
+func (d *Dispatcher) SubmitReport(spec report.Spec) (ReportView, error) {
+	return d.SubmitTask(ReportKind, reportTask{spec: spec}, "")
+}
+
+// Report returns a snapshot of the report, if known.
+func (d *Dispatcher) Report(id string) (ReportView, bool) { return d.taskView(id, ReportKind) }
+
+// ReportResults returns the report's result once it is done.
+func (d *Dispatcher) ReportResults(id string) (*report.Result, string, bool, error) {
+	result, hash, _, ok, err := d.taskResult(id, ReportKind)
+	if !ok || err != nil {
+		return nil, hash, ok, err
+	}
+	return result.(*report.Result), hash, true, nil
+}
+
+// ReportDone returns a channel closed when the report reaches a
+// terminal state, or nil for unknown reports.
+func (d *Dispatcher) ReportDone(id string) <-chan struct{} { return d.TaskDone(id) }
+
+// ReportCounts returns the number of retained reports per status.
+func (d *Dispatcher) ReportCounts() map[Status]int { return d.CountsFor(ReportKind) }

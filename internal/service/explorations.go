@@ -1,231 +1,57 @@
 package service
 
-import (
-	"fmt"
-	"sync"
-	"time"
+import "adasim/internal/explore"
 
-	"adasim/internal/experiments"
-	"adasim/internal/explore"
-)
-
-// exploration is the dispatcher-internal record of one exploration.
-// Mutable fields are guarded by the owning Dispatcher's mu.
-type exploration struct {
-	id   string
-	spec explore.Spec // normalized
-	hash string
-
-	status      Status
-	completed   int
-	cacheHits   int
-	errMsg      string
-	submittedAt time.Time
-	startedAt   *time.Time
-	finishedAt  *time.Time
-	report      *explore.Report // set once status is done
-	done        chan struct{}   // closed on done/failed
-}
-
-// ExplorationView is a point-in-time snapshot of an exploration, shaped
-// for the API. There is no up-front total probe count — boundary
-// searches decide their probe count adaptively — so CompletedProbes
-// simply grows until the exploration finishes.
-type ExplorationView struct {
-	ID              string     `json:"id"`
-	SpecHash        string     `json:"spec_hash"`
-	Status          Status     `json:"status"`
-	CompletedProbes int        `json:"completed_probes"`
-	CacheHits       int        `json:"cache_hits"`
-	Error           string     `json:"error,omitempty"`
-	SubmittedAt     time.Time  `json:"submitted_at"`
-	StartedAt       *time.Time `json:"started_at,omitempty"`
-	FinishedAt      *time.Time `json:"finished_at,omitempty"`
-}
-
-// SubmitExploration validates, normalizes, and enqueues an exploration
-// spec into the shared FIFO queue. It never blocks: a full queue returns
-// ErrQueueFull.
-func (d *Dispatcher) SubmitExploration(spec explore.Spec) (ExplorationView, error) {
-	norm := spec.Normalized()
-	if err := norm.Validate(); err != nil {
-		return ExplorationView{}, err
-	}
-	hash, err := norm.Hash()
-	if err != nil {
-		return ExplorationView{}, err
-	}
-
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.draining {
-		return ExplorationView{}, ErrDraining
-	}
-	d.seq++
-	x := &exploration{
-		id:          fmt.Sprintf("x%06d-%s", d.seq, hash[:8]),
-		spec:        norm,
-		hash:        hash,
-		status:      StatusQueued,
-		submittedAt: time.Now().UTC(),
-		done:        make(chan struct{}),
-	}
-	select {
-	case d.jobCh <- x:
-	default:
-		d.seq-- // the exploration never existed
-		return ExplorationView{}, ErrQueueFull
-	}
-	d.expls[x.id] = x
-	d.explOrder = append(d.explOrder, x.id)
-	return d.explViewLocked(x), nil
-}
-
-// Exploration returns a snapshot of the exploration, if known.
-func (d *Dispatcher) Exploration(id string) (ExplorationView, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	x, ok := d.expls[id]
-	if !ok {
-		return ExplorationView{}, false
-	}
-	return d.explViewLocked(x), true
-}
-
-// ExplorationResults returns the exploration's report once it is done.
-// The boolean is false for unknown explorations; the error reports one
-// that has not finished (or failed).
-func (d *Dispatcher) ExplorationResults(id string) (*explore.Report, string, bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	x, ok := d.expls[id]
-	if !ok {
-		return nil, "", false, nil
-	}
-	switch x.status {
-	case StatusDone:
-		return x.report, x.hash, true, nil
-	case StatusFailed:
-		return nil, x.hash, true, fmt.Errorf("service: exploration %s failed: %s", id, x.errMsg)
-	default:
-		return nil, x.hash, true, fmt.Errorf("service: exploration %s is %s", id, x.status)
-	}
-}
-
-// ExplorationDone returns a channel closed when the exploration reaches
-// a terminal state, or nil for unknown explorations.
-func (d *Dispatcher) ExplorationDone(id string) <-chan struct{} {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if x, ok := d.expls[id]; ok {
-		return x.done
-	}
-	return nil
-}
-
-// ExplorationCounts returns the number of explorations per status.
-func (d *Dispatcher) ExplorationCounts() map[Status]int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	counts := make(map[Status]int, 4)
-	for _, x := range d.expls {
-		counts[x.status]++
-	}
-	return counts
-}
-
-func (d *Dispatcher) explViewLocked(x *exploration) ExplorationView {
-	return ExplorationView{
-		ID:              x.id,
-		SpecHash:        x.hash,
-		Status:          x.status,
-		CompletedProbes: x.completed,
-		CacheHits:       x.cacheHits,
-		Error:           x.errMsg,
-		SubmittedAt:     x.submittedAt,
-		StartedAt:       x.startedAt,
-		FinishedAt:      x.finishedAt,
-	}
-}
-
-// execute implements queueItem: explorations run on the scheduler
-// goroutine like jobs, fanning probe batches out over the shared worker
-// shards and the shared content-addressed result cache.
-func (x *exploration) execute(d *Dispatcher) {
-	now := time.Now().UTC()
-	d.mu.Lock()
-	x.status = StatusRunning
-	x.startedAt = &now
-	d.mu.Unlock()
-
-	eng := explore.New(shardExecutor{d: d}, d.cache)
-	eng.Progress = func(completed, cacheHits int) {
-		d.mu.Lock()
-		x.completed = completed
-		x.cacheHits = cacheHits
-		d.mu.Unlock()
-	}
-	report, stats, err := eng.Run(x.spec)
-
-	end := time.Now().UTC()
-	d.mu.Lock()
-	x.finishedAt = &end
-	x.completed = stats.Probes
-	x.cacheHits = stats.CacheHits
-	if err != nil {
-		x.status = StatusFailed
-		x.errMsg = err.Error()
-	} else {
-		x.status = StatusDone
-		x.report = report
-	}
-	d.pruneExplLocked()
-	d.mu.Unlock()
-	close(x.done)
-}
-
-// pruneExplLocked applies the shared retention policy (pruneFinished)
-// to exploration records. d.mu must be held.
-func (d *Dispatcher) pruneExplLocked() {
-	d.explOrder = pruneFinished(d.explOrder, d.cfg.MaxJobRecords,
-		func(id string) bool {
-			x := d.expls[id]
-			return x.status == StatusDone || x.status == StatusFailed
-		},
-		func(id string) { delete(d.expls, id) })
-}
-
-// shardExecutor adapts the dispatcher's worker shards to
-// explore.Executor: exploration probes run on the same long-lived
-// platforms as campaign jobs.
-type shardExecutor struct {
-	d *Dispatcher
-}
-
-func (se shardExecutor) Execute(reqs []experiments.RunRequest, onDone func(i int, ro experiments.RunOutcome)) ([]experiments.RunOutcome, error) {
-	outs := make([]experiments.RunOutcome, len(reqs))
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
-	for i := range reqs {
-		i := i
-		wg.Add(1)
-		se.d.taskCh <- runTask{
-			run: PlannedRun{Key: reqs[i].Key, Opts: reqs[i].Opts},
-			out: &outs[i],
-			err: &errs[i],
-			wg:  &wg,
-			note: func() {
-				if onDone != nil {
-					onDone(i, outs[i])
-				}
-			},
-		}
-	}
-	wg.Wait()
-	for _, err := range errs {
+// ExplorationKind registers scenario-space explorations with the task
+// runtime. All record-keeping, scheduling, pruning, and HTTP plumbing
+// is the generic runtime's; this file is only the kind registration and
+// the engine adapter.
+var ExplorationKind = RegisterKind(&TaskKind{
+	Name:     "exploration",
+	Plural:   "explorations",
+	Prefix:   "x",
+	Class:    RetentionStandard,
+	Priority: PriorityInteractive,
+	Decode: func(b []byte) (TaskSpec, error) {
+		spec, err := explore.DecodeSpec(b)
 		if err != nil {
 			return nil, err
 		}
+		return exploreTask{spec: spec}, nil
+	},
+	// The report is served as-is (it already carries the spec hash and
+	// no volatile fields), so two explorations of the same spec produce
+	// byte-identical responses.
+	Wire: func(hash string, result any) any { return result },
+})
+
+// exploreTask adapts explore.Spec to the TaskSpec contract.
+type exploreTask struct {
+	spec explore.Spec
+}
+
+// Prepare implements TaskSpec. Total stays 0: boundary searches decide
+// their probe count adaptively, so the completed count simply grows
+// until the exploration finishes.
+func (e exploreTask) Prepare() (PreparedTask, error) {
+	norm := e.spec.Normalized()
+	if err := norm.Validate(); err != nil {
+		return PreparedTask{}, err
 	}
-	return outs, nil
+	hash, err := norm.Hash()
+	if err != nil {
+		return PreparedTask{}, err
+	}
+	return PreparedTask{
+		Hash: hash,
+		Run: func(env TaskEnv) (any, TaskStats, error) {
+			eng := explore.New(env.Exec, env.Cache)
+			eng.Progress = env.Progress
+			rep, stats, err := eng.Run(norm)
+			if err != nil {
+				return nil, TaskStats{Completed: stats.Probes, CacheHits: stats.CacheHits}, err
+			}
+			return rep, TaskStats{Completed: stats.Probes, CacheHits: stats.CacheHits}, nil
+		},
+	}, nil
 }

@@ -104,9 +104,9 @@ func TestExplorationEndToEnd(t *testing.T) {
 	if report.Boundary.Hi-report.Boundary.Lo > 2 {
 		t.Errorf("bracket [%v, %v] wider than the 2 m tolerance", report.Boundary.Lo, report.Boundary.Hi)
 	}
-	if report.TotalProbes != len(report.Probes) || report.TotalProbes != done1.CompletedProbes {
+	if report.TotalProbes != len(report.Probes) || report.TotalProbes != done1.CompletedRuns {
 		t.Errorf("probe accounting: report %d/%d, view %d",
-			report.TotalProbes, len(report.Probes), done1.CompletedProbes)
+			report.TotalProbes, len(report.Probes), done1.CompletedRuns)
 	}
 
 	// The repeat must be served >= 90% from the result cache (it is
@@ -122,10 +122,10 @@ func TestExplorationEndToEnd(t *testing.T) {
 	if done2.Status != StatusDone {
 		t.Fatalf("exploration 2 = %+v", done2)
 	}
-	if done2.CompletedProbes == 0 ||
-		float64(done2.CacheHits) < 0.9*float64(done2.CompletedProbes) {
+	if done2.CompletedRuns == 0 ||
+		float64(done2.CacheHits) < 0.9*float64(done2.CompletedRuns) {
 		t.Errorf("repeat served %d/%d probes from cache, want >= 90%%",
-			done2.CacheHits, done2.CompletedProbes)
+			done2.CacheHits, done2.CompletedRuns)
 	}
 	results2, code := get(t, ts, "/v1/explorations/"+view2.ID+"/results")
 	if code != http.StatusOK {

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"adasim/internal/experiments"
+)
+
+// JobKind registers campaign jobs with the task runtime: the full cross
+// product scenarios x gaps x reps of closed-loop runs under one fault
+// parameterisation and one intervention set (see JobSpec).
+var JobKind = RegisterKind(&TaskKind{
+	Name:     "job",
+	Plural:   "jobs",
+	Prefix:   "j",
+	Class:    RetentionStandard,
+	Priority: PriorityInteractive,
+	Decode: func(b []byte) (TaskSpec, error) {
+		spec, err := DecodeSpec(b)
+		if err != nil {
+			return nil, err
+		}
+		return spec, nil
+	},
+	Wire: func(hash string, result any) any {
+		runs := result.([]experiments.RunOutcome)
+		return ResultsResponse{
+			SpecHash:  hash,
+			TotalRuns: len(runs),
+			Results:   runs,
+			Aggregate: AggregateFor(runs),
+		}
+	},
+})
+
+// Prepare implements TaskSpec: normalize, validate, hash, and expand the
+// campaign into its planned runs.
+func (s JobSpec) Prepare() (PreparedTask, error) {
+	norm := s.Normalized()
+	if err := norm.Validate(); err != nil {
+		return PreparedTask{}, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return PreparedTask{}, err
+	}
+	plan, err := norm.Plan()
+	if err != nil {
+		return PreparedTask{}, err
+	}
+	return PreparedTask{
+		Hash:  hash,
+		Total: len(plan),
+		Run: func(env TaskEnv) (any, TaskStats, error) {
+			outs, stats, err := executePlan(plan, env)
+			if err != nil {
+				return nil, stats, err
+			}
+			return outs, stats, nil
+		},
+	}, nil
+}
+
+// executePlan resolves a job's planned runs: cached runs short-circuit,
+// the rest fan out over the executor, and fresh outcomes are written
+// back to the cache. Results land in slots indexed by the canonical
+// plan order, so job output is independent of shard count and cache
+// warmth.
+func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, TaskStats, error) {
+	outs := make([]experiments.RunOutcome, len(plan))
+	var stats TaskStats
+	var missed []int
+	var reqs []experiments.RunRequest
+	for i, pr := range plan {
+		if env.Cache != nil {
+			if out, ok := env.Cache.Get(pr.CacheKey); ok {
+				outs[i] = experiments.RunOutcome{Key: pr.Key, Outcome: out}
+				stats.Completed++
+				stats.CacheHits++
+				continue
+			}
+		}
+		missed = append(missed, i)
+		reqs = append(reqs, experiments.RunRequest{Key: pr.Key, Opts: pr.Opts})
+	}
+	progress := func() {
+		if env.Progress != nil {
+			env.Progress(stats.Completed, stats.CacheHits)
+		}
+	}
+	progress()
+
+	// succeeded[j] records per-run completion: the worker invokes onDone
+	// only for runs that finished without error, and the executor waits
+	// for every in-flight run before returning, so the flags (and the
+	// outs slots they guard) are final once Execute returns.
+	succeeded := make([]atomic.Bool, len(reqs))
+	base, hits := int64(stats.Completed), stats.CacheHits
+	var ran int64
+	onDone := func(j int, _ experiments.RunOutcome) {
+		succeeded[j].Store(true)
+		if env.Progress != nil {
+			// Per-run progress inside the batch: cache hits are all
+			// counted above, so only the completed count moves.
+			env.Progress(int(base+atomic.AddInt64(&ran, 1)), hits)
+		}
+	}
+	fresh, err := env.Exec.Execute(reqs, onDone)
+	if err != nil {
+		// The batch failed (or was canceled), but the runs that did
+		// complete are valid content-addressed outcomes: cache them so
+		// a corrected resubmission or an overlapping job re-runs only
+		// what actually failed.
+		if env.Cache != nil && len(fresh) == len(reqs) {
+			for j, i := range missed {
+				if succeeded[j].Load() {
+					env.Cache.Put(plan[i].CacheKey, fresh[j].Outcome)
+				}
+			}
+		}
+		return nil, stats, err
+	}
+	for j, i := range missed {
+		outs[i] = fresh[j]
+		stats.Completed++
+		if env.Cache != nil {
+			env.Cache.Put(plan[i].CacheKey, fresh[j].Outcome)
+		}
+	}
+	progress()
+	return outs, stats, nil
+}

@@ -1,200 +1,62 @@
 package service
 
-import (
-	"fmt"
-	"time"
+import "adasim/internal/report"
 
-	"adasim/internal/report"
-)
+// ReportKind registers paper-artifact reports with the task runtime.
+// Reports are bulk-priority (a full-spec report is orders of magnitude
+// heavier than a job) and heavy-retention (a finished record keeps its
+// rendered artifacts, ~0.5 MB). All record-keeping, scheduling,
+// pruning, and HTTP plumbing is the generic runtime's; this file is
+// only the kind registration and the engine adapter.
+var ReportKind = RegisterKind(&TaskKind{
+	Name:     "report",
+	Plural:   "reports",
+	Prefix:   "r",
+	Class:    RetentionHeavy,
+	Priority: PriorityBulk,
+	Decode: func(b []byte) (TaskSpec, error) {
+		// The shared strict decoder keeps the HTTP and offline
+		// (cmd/tables, adasimctl -spec) contracts identical by
+		// construction.
+		spec, err := report.DecodeSpec(b)
+		if err != nil {
+			return nil, err
+		}
+		return reportTask{spec: spec}, nil
+	},
+	// The result is served as-is (it already carries the spec hash and
+	// no volatile fields), so two reports of the same spec produce
+	// byte-identical responses.
+	Wire: func(hash string, result any) any { return result },
+})
 
-// reportRecord is the dispatcher-internal record of one report. Mutable
-// fields are guarded by the owning Dispatcher's mu.
-type reportRecord struct {
-	id   string
-	spec report.Spec // normalized
-	hash string
-
-	status      Status
-	completed   int
-	cacheHits   int
-	errMsg      string
-	submittedAt time.Time
-	startedAt   *time.Time
-	finishedAt  *time.Time
-	result      *report.Result // set once status is done
-	done        chan struct{}  // closed on done/failed
+// reportTask adapts report.Spec to the TaskSpec contract.
+type reportTask struct {
+	spec report.Spec
 }
 
-// ReportView is a point-in-time snapshot of a report, shaped for the
-// API. CompletedRuns grows as the report's campaigns execute (runs
-// served from the cache count immediately).
-type ReportView struct {
-	ID            string     `json:"id"`
-	SpecHash      string     `json:"spec_hash"`
-	Status        Status     `json:"status"`
-	CompletedRuns int        `json:"completed_runs"`
-	CacheHits     int        `json:"cache_hits"`
-	Error         string     `json:"error,omitempty"`
-	SubmittedAt   time.Time  `json:"submitted_at"`
-	StartedAt     *time.Time `json:"started_at,omitempty"`
-	FinishedAt    *time.Time `json:"finished_at,omitempty"`
-}
-
-// SubmitReport validates, normalizes, and enqueues a report spec into
-// the shared FIFO queue. It never blocks: a full queue returns
-// ErrQueueFull.
-func (d *Dispatcher) SubmitReport(spec report.Spec) (ReportView, error) {
-	norm := spec.Normalized()
+// Prepare implements TaskSpec. Total stays 0: a report's run count
+// depends on which artifacts it renders, and the engine reports it
+// through the progress counters.
+func (r reportTask) Prepare() (PreparedTask, error) {
+	norm := r.spec.Normalized()
 	if err := norm.Validate(); err != nil {
-		return ReportView{}, err
+		return PreparedTask{}, err
 	}
 	hash, err := norm.Hash()
 	if err != nil {
-		return ReportView{}, err
+		return PreparedTask{}, err
 	}
-
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.draining {
-		return ReportView{}, ErrDraining
-	}
-	d.seq++
-	r := &reportRecord{
-		id:          fmt.Sprintf("r%06d-%s", d.seq, hash[:8]),
-		spec:        norm,
-		hash:        hash,
-		status:      StatusQueued,
-		submittedAt: time.Now().UTC(),
-		done:        make(chan struct{}),
-	}
-	select {
-	case d.jobCh <- r:
-	default:
-		d.seq-- // the report never existed
-		return ReportView{}, ErrQueueFull
-	}
-	d.reports[r.id] = r
-	d.repOrder = append(d.repOrder, r.id)
-	return d.reportViewLocked(r), nil
-}
-
-// Report returns a snapshot of the report, if known.
-func (d *Dispatcher) Report(id string) (ReportView, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	r, ok := d.reports[id]
-	if !ok {
-		return ReportView{}, false
-	}
-	return d.reportViewLocked(r), true
-}
-
-// ReportResults returns the report's result once it is done. The boolean
-// is false for unknown reports; the error reports one that has not
-// finished (or failed).
-func (d *Dispatcher) ReportResults(id string) (*report.Result, string, bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	r, ok := d.reports[id]
-	if !ok {
-		return nil, "", false, nil
-	}
-	switch r.status {
-	case StatusDone:
-		return r.result, r.hash, true, nil
-	case StatusFailed:
-		return nil, r.hash, true, fmt.Errorf("service: report %s failed: %s", id, r.errMsg)
-	default:
-		return nil, r.hash, true, fmt.Errorf("service: report %s is %s", id, r.status)
-	}
-}
-
-// ReportDone returns a channel closed when the report reaches a terminal
-// state, or nil for unknown reports.
-func (d *Dispatcher) ReportDone(id string) <-chan struct{} {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if r, ok := d.reports[id]; ok {
-		return r.done
-	}
-	return nil
-}
-
-// ReportCounts returns the number of reports per status.
-func (d *Dispatcher) ReportCounts() map[Status]int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	counts := make(map[Status]int, 4)
-	for _, r := range d.reports {
-		counts[r.status]++
-	}
-	return counts
-}
-
-func (d *Dispatcher) reportViewLocked(r *reportRecord) ReportView {
-	return ReportView{
-		ID:            r.id,
-		SpecHash:      r.hash,
-		Status:        r.status,
-		CompletedRuns: r.completed,
-		CacheHits:     r.cacheHits,
-		Error:         r.errMsg,
-		SubmittedAt:   r.submittedAt,
-		StartedAt:     r.startedAt,
-		FinishedAt:    r.finishedAt,
-	}
-}
-
-// execute implements queueItem: reports run on the scheduler goroutine
-// like jobs and explorations, fanning their campaigns' runs out over the
-// shared worker shards and the shared content-addressed result cache.
-func (r *reportRecord) execute(d *Dispatcher) {
-	now := time.Now().UTC()
-	d.mu.Lock()
-	r.status = StatusRunning
-	r.startedAt = &now
-	d.mu.Unlock()
-
-	eng := report.New(shardExecutor{d: d}, d.cache)
-	eng.Progress = func(completed, cacheHits int) {
-		// Callbacks arrive concurrently from worker goroutines with no
-		// ordering guarantee; only ever move the counters forward so a
-		// stale callback cannot make a polled view regress.
-		d.mu.Lock()
-		if completed > r.completed {
-			r.completed = completed
-		}
-		if cacheHits > r.cacheHits {
-			r.cacheHits = cacheHits
-		}
-		d.mu.Unlock()
-	}
-	result, stats, err := eng.Run(r.spec)
-
-	end := time.Now().UTC()
-	d.mu.Lock()
-	r.finishedAt = &end
-	r.completed = stats.Runs
-	r.cacheHits = stats.CacheHits
-	if err != nil {
-		r.status = StatusFailed
-		r.errMsg = err.Error()
-	} else {
-		r.status = StatusDone
-		r.result = result
-	}
-	d.pruneReportsLocked()
-	d.mu.Unlock()
-	close(r.done)
-}
-
-// pruneReportsLocked applies the shared retention policy (pruneFinished)
-// to report records. d.mu must be held.
-func (d *Dispatcher) pruneReportsLocked() {
-	d.repOrder = pruneFinished(d.repOrder, d.cfg.MaxReportRecords,
-		func(id string) bool {
-			r := d.reports[id]
-			return r.status == StatusDone || r.status == StatusFailed
+	return PreparedTask{
+		Hash: hash,
+		Run: func(env TaskEnv) (any, TaskStats, error) {
+			eng := report.New(env.Exec, env.Cache)
+			eng.Progress = env.Progress
+			res, stats, err := eng.Run(norm)
+			if err != nil {
+				return nil, TaskStats{Completed: stats.Runs, CacheHits: stats.CacheHits}, err
+			}
+			return res, TaskStats{Completed: stats.Runs, CacheHits: stats.CacheHits}, nil
 		},
-		func(id string) { delete(d.reports, id) })
+	}, nil
 }

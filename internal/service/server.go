@@ -10,26 +10,33 @@ import (
 	"strings"
 
 	"adasim/internal/experiments"
-	"adasim/internal/explore"
 	"adasim/internal/metrics"
-	"adasim/internal/report"
 	"adasim/internal/scenario"
 	"adasim/internal/scengen"
 )
 
-// Server exposes the dispatcher over HTTP/JSON:
+// Server exposes the dispatcher over HTTP/JSON. The task routes are
+// generic over every registered kind:
 //
-//	POST /v1/jobs                       submit a JobSpec              -> 202 JobView
-//	GET  /v1/jobs/{id}                  job status and progress       -> 200 JobView
-//	GET  /v1/jobs/{id}/results          results of a finished job     -> 200 ResultsResponse
-//	POST /v1/explorations               submit an explore.Spec        -> 202 ExplorationView
-//	GET  /v1/explorations/{id}          exploration status/progress   -> 200 ExplorationView
-//	GET  /v1/explorations/{id}/results  report of a finished search   -> 200 explore.Report
-//	POST /v1/reports                    submit a report.Spec          -> 202 ReportView
-//	GET  /v1/reports/{id}               report status and progress    -> 200 ReportView
-//	GET  /v1/reports/{id}/results       artifacts of a finished report-> 200 report.Result
-//	GET  /v1/scenarios                  scenarios + family catalogue  -> 200
-//	GET  /healthz                       liveness, pool + cache view   -> 200
+//	POST   /v1/tasks/{kind}           submit a spec of that kind     -> 202 TaskView
+//	GET    /v1/tasks/{id}             task status and progress       -> 200 TaskView
+//	GET    /v1/tasks/{id}/results     results of a finished task     -> 200 kind wire format
+//	DELETE /v1/tasks/{id}             request cooperative cancel     -> 200 TaskView
+//	GET    /v1/scenarios              scenarios + family catalogue   -> 200
+//	GET    /healthz                   liveness, queue + cache view   -> 200
+//
+// and the pre-runtime per-kind routes are aliases of them (POST
+// /v1/jobs, GET /v1/explorations/{id}/results, ...; the per-kind
+// GET/DELETE aliases additionally 404 on an ID of another kind).
+// Results endpoints are byte-compatible with the pre-runtime API;
+// status endpoints serve the unified TaskView on every route (the old
+// per-kind views are gone — exploration progress moved from
+// completed_probes to completed_runs).
+//
+// Submissions may carry ?priority=interactive|bulk to override the
+// kind's default scheduling class. Submission errors map uniformly for
+// every kind: queue full -> 429 with Retry-After, draining -> 503, bad
+// spec -> 400, all with the {"error": ...} body.
 //
 // Every POST endpoint requires a JSON body: a request declaring a
 // non-JSON Content-Type is rejected with 415 before the body is read.
@@ -38,18 +45,21 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// NewServer wires the routes.
+// NewServer wires the routes: the generic task routes plus, per
+// registered kind, the submission route and the legacy aliases.
 func NewServer(d *Dispatcher) *Server {
 	s := &Server{d: d, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", requireJSON(s.handleSubmit))
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
-	s.mux.HandleFunc("POST /v1/explorations", requireJSON(s.handleSubmitExploration))
-	s.mux.HandleFunc("GET /v1/explorations/{id}", s.handleExploration)
-	s.mux.HandleFunc("GET /v1/explorations/{id}/results", s.handleExplorationResults)
-	s.mux.HandleFunc("POST /v1/reports", requireJSON(s.handleSubmitReport))
-	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReport)
-	s.mux.HandleFunc("GET /v1/reports/{id}/results", s.handleReportResults)
+	for _, k := range Kinds() {
+		s.mux.HandleFunc("POST /v1/tasks/"+k.Plural, requireJSON(s.handleSubmit(k)))
+		// Legacy per-kind aliases (kind-checked on GET/DELETE).
+		s.mux.HandleFunc("POST /v1/"+k.Plural, requireJSON(s.handleSubmit(k)))
+		s.mux.HandleFunc("GET /v1/"+k.Plural+"/{id}", s.handleTask(k))
+		s.mux.HandleFunc("GET /v1/"+k.Plural+"/{id}/results", s.handleTaskResults(k))
+		s.mux.HandleFunc("DELETE /v1/"+k.Plural+"/{id}", s.handleCancel(k))
+	}
+	s.mux.HandleFunc("GET /v1/tasks/{id}", s.handleTask(nil))
+	s.mux.HandleFunc("GET /v1/tasks/{id}/results", s.handleTaskResults(nil))
+	s.mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleCancel(nil))
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -104,35 +114,57 @@ type ScenariosResponse struct {
 	Families    []*scengen.Family `json:"families"`
 }
 
-// HealthResponse reports liveness plus a pool and cache snapshot.
+// HealthResponse reports liveness plus a queue, pool, and cache
+// snapshot. The legacy per-kind count maps are kept alongside the
+// generic Tasks map.
 type HealthResponse struct {
-	Status       string         `json:"status"` // "ok" or "draining"
-	Workers      int            `json:"workers"`
-	QueueDepth   int            `json:"queue_depth"`
-	Jobs         map[Status]int `json:"jobs"`
-	Explorations map[Status]int `json:"explorations"`
-	Reports      map[Status]int `json:"reports"`
-	Cache        CacheStats     `json:"cache"`
+	Status       string                    `json:"status"` // "ok" or "draining"
+	Workers      int                       `json:"workers"`
+	QueueDepth   int                       `json:"queue_depth"`
+	Queue        QueueStats                `json:"queue"`
+	Tasks        map[string]map[Status]int `json:"tasks"`
+	Jobs         map[Status]int            `json:"jobs"`
+	Explorations map[Status]int            `json:"explorations"`
+	Reports      map[Status]int            `json:"reports"`
+	Cache        CacheStats                `json:"cache"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading job spec: %w", err))
-		return
+// handleSubmit is the one submission handler every kind shares: strict
+// decode, optional priority override, admission, and the uniform error
+// mapping.
+func (s *Server) handleSubmit(k *TaskKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading %s spec: %w", k.Name, err))
+			return
+		}
+		spec, err := k.Decode(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding %s spec: %w", k.Name, err))
+			return
+		}
+		priority, err := ParsePriority(r.URL.Query().Get("priority"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		view, err := s.d.SubmitTask(k, spec, priority)
+		writeSubmitOutcome(w, view, err)
 	}
-	spec, err := DecodeSpec(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
-		return
-	}
-	view, err := s.d.Submit(spec)
+}
+
+// writeSubmitOutcome maps admission results identically for every
+// submit endpoint: 202 on success; queue full -> 429 with a Retry-After
+// hint; draining -> 503; anything else (validation) -> 400.
+func writeSubmitOutcome(w http.ResponseWriter, view TaskView, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -143,134 +175,60 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	view, ok := s.d.Job(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
-		return
+// routeName is the noun of "unknown ..." messages: the kind's name on
+// the legacy per-kind routes, "task" on the generic /v1/tasks routes
+// (kind == nil).
+func routeName(k *TaskKind) string {
+	if k != nil {
+		return k.Name
 	}
-	writeJSON(w, http.StatusOK, view)
+	return "task"
 }
 
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	results, hash, ok, err := s.d.Results(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ResultsResponse{
-		SpecHash:  hash,
-		TotalRuns: len(results),
-		Results:   results,
-		Aggregate: AggregateFor(results),
-	})
-}
-
-func (s *Server) handleSubmitExploration(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading exploration spec: %w", err))
-		return
-	}
-	spec, err := explore.DecodeSpec(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding exploration spec: %w", err))
-		return
-	}
-	view, err := s.d.SubmitExploration(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
-	default:
-		writeJSON(w, http.StatusAccepted, view)
+func (s *Server) handleTask(k *TaskKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		view, ok := s.d.taskView(id, k)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown %s %q", routeName(k), id))
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
 	}
 }
 
-func (s *Server) handleExploration(w http.ResponseWriter, r *http.Request) {
-	view, ok := s.d.Exploration(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown exploration %q", r.PathValue("id")))
-		return
-	}
-	writeJSON(w, http.StatusOK, view)
-}
-
-func (s *Server) handleExplorationResults(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	report, _, ok, err := s.d.ExplorationResults(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown exploration %q", id))
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
-	// The report is served as-is (it already carries the spec hash and
-	// no volatile fields), so two explorations of the same spec produce
-	// byte-identical responses.
-	writeJSON(w, http.StatusOK, report)
-}
-
-func (s *Server) handleSubmitReport(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading report spec: %w", err))
-		return
-	}
-	// The shared strict decoder keeps the HTTP and offline (cmd/tables,
-	// adasimctl -spec) contracts identical by construction.
-	spec, err := report.DecodeSpec(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding report spec: %w", err))
-		return
-	}
-	view, err := s.d.SubmitReport(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
-	default:
-		writeJSON(w, http.StatusAccepted, view)
+func (s *Server) handleTaskResults(k *TaskKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		result, hash, kind, ok, err := s.d.taskResult(id, k)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown %s %q", routeName(k), id))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, kind.Wire(hash, result))
 	}
 }
 
-func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	view, ok := s.d.Report(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown report %q", r.PathValue("id")))
-		return
+func (s *Server) handleCancel(k *TaskKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		view, err := s.d.cancelTask(id, k)
+		switch {
+		case errors.Is(err, ErrUnknownTask):
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown %s %q", routeName(k), id))
+		case errors.Is(err, ErrTaskTerminal):
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("%s %s is already %s", view.Kind, view.ID, view.Status))
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, view)
+		}
 	}
-	writeJSON(w, http.StatusOK, view)
-}
-
-func (s *Server) handleReportResults(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	result, _, ok, err := s.d.ReportResults(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown report %q", id))
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
-	// The result is served as-is (it already carries the spec hash and no
-	// volatile fields), so two reports of the same spec produce
-	// byte-identical responses.
-	writeJSON(w, http.StatusOK, result)
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -290,13 +248,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.d.Draining() {
 		status = "draining"
 	}
+	tasks := s.d.TaskCounts()
+	queue := s.d.QueueStats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:       status,
 		Workers:      s.d.Workers(),
-		QueueDepth:   s.d.QueueDepth(),
-		Jobs:         s.d.JobCounts(),
-		Explorations: s.d.ExplorationCounts(),
-		Reports:      s.d.ReportCounts(),
+		QueueDepth:   queue.Depth,
+		Queue:        queue,
+		Tasks:        tasks,
+		Jobs:         tasks[JobKind.Plural],
+		Explorations: tasks[ExplorationKind.Plural],
+		Reports:      tasks[ReportKind.Plural],
 		Cache:        s.d.Cache().Stats(),
 	})
 }

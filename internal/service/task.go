@@ -1,0 +1,286 @@
+// The unified task runtime: jobs, explorations, and reports are one
+// workload shape — a strictly-decoded spec with a canonical content hash,
+// executed on the shared worker shards against the shared result cache,
+// recorded in one map with one retention policy, and served by one
+// handler table. A new workload kind is a TaskKind registration, not a
+// copy of the record-keeping, pruning, and HTTP plumbing.
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"adasim/internal/experiments"
+)
+
+// Executor and Cache are the canonical execution contracts tasks run
+// against (see experiments): the dispatcher's shard pool and result
+// cache implement them, and so do the in-process pool and nil cache the
+// offline CLIs use — the engines cannot tell the difference.
+type (
+	Executor = experiments.Executor
+	Cache    = experiments.Cache
+)
+
+// Task status values.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// terminal reports whether a status is final (the task's done channel is
+// closed and its record is eligible for retention pruning).
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// PriorityClass schedules a task relative to other queued work.
+// Interactive tasks are dispatched ahead of bulk ones; the aging rule
+// (Config.AgeAfter) bounds how long bulk work can be overtaken, so a
+// stream of interactive submissions cannot starve it.
+type PriorityClass string
+
+const (
+	// PriorityInteractive is for short, latency-sensitive work (jobs,
+	// explorations): dispatched ahead of bulk tasks.
+	PriorityInteractive PriorityClass = "interactive"
+	// PriorityBulk is for heavy, throughput-oriented work (reports):
+	// overtaken by interactive tasks until the aging rule promotes it.
+	PriorityBulk PriorityClass = "bulk"
+)
+
+// ParsePriority resolves a wire priority string. Empty means "use the
+// kind's default class".
+func ParsePriority(s string) (PriorityClass, error) {
+	switch PriorityClass(s) {
+	case "", PriorityInteractive, PriorityBulk:
+		return PriorityClass(s), nil
+	}
+	return "", fmt.Errorf("service: unknown priority %q (want %q or %q)",
+		s, PriorityInteractive, PriorityBulk)
+}
+
+// RetentionClass selects which finished-record cap applies to a kind.
+type RetentionClass string
+
+const (
+	// RetentionStandard is for light records (runs or probes plus
+	// counters): capped by Config.MaxJobRecords.
+	RetentionStandard RetentionClass = "standard"
+	// RetentionHeavy is for records retaining large rendered results
+	// (~0.5 MB for a full report): capped by Config.MaxReportRecords.
+	RetentionHeavy RetentionClass = "heavy"
+)
+
+// TaskStats are execution-side counters reported by a kind's Run.
+type TaskStats struct {
+	// Completed is the total unit count (runs or probes), cache-served
+	// units included.
+	Completed int
+	// CacheHits is how many of them the result cache served.
+	CacheHits int
+}
+
+// TaskEnv is the execution environment the dispatcher hands a task: the
+// cancel-aware shard executor, the shared content-addressed result
+// cache, and the progress sink. Cancellation is cooperative and built
+// into Exec — it stops dispatching between runs once the task is
+// canceled and returns ErrCanceled.
+type TaskEnv struct {
+	Exec  Executor
+	Cache Cache
+	// Progress, when non-nil, receives cumulative (completed, cacheHits)
+	// counts as units finish. It must be safe for concurrent use.
+	Progress func(completed, cacheHits int)
+}
+
+// TaskSpec is a decoded, kind-specific specification. Prepare
+// normalizes and validates it and returns the executable form; a
+// Prepare error is a bad spec (HTTP 400).
+type TaskSpec interface {
+	Prepare() (PreparedTask, error)
+}
+
+// PreparedTask is a normalized, validated, executable task.
+type PreparedTask struct {
+	// Hash is the canonical content hash of the normalized spec.
+	Hash string
+	// Total is the planned unit count, or 0 when the kind decides it
+	// adaptively (boundary searches).
+	Total int
+	// Run executes the task on the environment and returns the
+	// kind-specific result. On cancellation it returns ErrCanceled
+	// (usually surfaced through env.Exec).
+	Run func(env TaskEnv) (result any, stats TaskStats, err error)
+}
+
+// TaskKind registers one workload kind with the runtime. Registration is
+// the whole integration surface: the dispatcher, server, client, and CLI
+// serve every registered kind generically.
+type TaskKind struct {
+	// Name is the singular kind name ("job"), used in messages and views.
+	Name string
+	// Plural is the route segment ("jobs"): POST /v1/tasks/{Plural} and
+	// the legacy alias POST /v1/{Plural}.
+	Plural string
+	// Prefix starts the kind's task IDs ("j" -> j000001-1a2b3c4d).
+	Prefix string
+	// Class selects the finished-record retention cap.
+	Class RetentionClass
+	// Priority is the kind's default scheduling class; a submission may
+	// override it with the ?priority= query parameter.
+	Priority PriorityClass
+	// Decode strictly parses a wire spec (unknown fields rejected).
+	Decode func(b []byte) (TaskSpec, error)
+	// Wire shapes a finished task's result for the results endpoint. It
+	// must be a pure function of (hash, result) so equal specs serve
+	// byte-identical responses.
+	Wire func(hash string, result any) any
+}
+
+// The kind registry. Kinds register at init time (one per file:
+// jobs.go, explorations.go, reports.go); the order is the registration
+// order.
+var taskKinds []*TaskKind
+
+// RegisterKind adds a workload kind to the runtime. It panics on
+// duplicate names, plurals, or prefixes — registration is init-time
+// wiring, not runtime input.
+func RegisterKind(k *TaskKind) *TaskKind {
+	for _, prev := range taskKinds {
+		if prev.Name == k.Name || prev.Plural == k.Plural || prev.Prefix == k.Prefix {
+			panic(fmt.Sprintf("service: task kind %q collides with %q", k.Name, prev.Name))
+		}
+	}
+	taskKinds = append(taskKinds, k)
+	return k
+}
+
+// Kinds returns the registered kinds in registration order.
+func Kinds() []*TaskKind { return taskKinds }
+
+// task is the dispatcher-internal record of one unit of queued work, of
+// any kind. Mutable fields are guarded by the owning Dispatcher's mu;
+// cancel is atomic so executors can poll it between runs without the
+// lock.
+type task struct {
+	id       string
+	kind     *TaskKind
+	hash     string
+	prep     PreparedTask
+	priority PriorityClass
+
+	status      Status
+	completed   int
+	cacheHits   int
+	errMsg      string
+	submittedAt time.Time
+	startedAt   *time.Time
+	finishedAt  *time.Time
+	result      any           // kind-specific, set once status is done
+	done        chan struct{} // closed on done/failed/canceled
+
+	cancel atomic.Bool // cooperative cancellation request
+}
+
+// TaskView is a point-in-time snapshot of a task, shaped for the API.
+// It is the one status wire format shared by every kind; TotalRuns is
+// omitted for kinds that size themselves adaptively.
+type TaskView struct {
+	ID            string        `json:"id"`
+	Kind          string        `json:"kind"`
+	SpecHash      string        `json:"spec_hash"`
+	Status        Status        `json:"status"`
+	Priority      PriorityClass `json:"priority"`
+	TotalRuns     int           `json:"total_runs,omitempty"`
+	CompletedRuns int           `json:"completed_runs"`
+	CacheHits     int           `json:"cache_hits"`
+	// CancelRequested reports a cancellation that the running task has
+	// not yet honored (it stops between runs).
+	CancelRequested bool       `json:"cancel_requested,omitempty"`
+	Error           string     `json:"error,omitempty"`
+	SubmittedAt     time.Time  `json:"submitted_at"`
+	StartedAt       *time.Time `json:"started_at,omitempty"`
+	FinishedAt      *time.Time `json:"finished_at,omitempty"`
+}
+
+// Typed view aliases kept for the pre-runtime API surface; all three
+// kinds share the TaskView wire format.
+type (
+	JobView         = TaskView
+	ExplorationView = TaskView
+	ReportView      = TaskView
+)
+
+// taskQueue is the priority queue behind the dispatcher: FIFO within
+// each class, interactive ahead of bulk, with an aging credit so bulk
+// work is dispatched after at most ageAfter interactive overtakes.
+type taskQueue struct {
+	interactive []*task
+	bulk        []*task
+	// overtakes counts interactive dispatches since the head bulk task
+	// could have run; at ageAfter the next dispatch must be bulk.
+	overtakes int
+}
+
+func (q *taskQueue) depth() int  { return len(q.interactive) + len(q.bulk) }
+func (q *taskQueue) empty() bool { return q.depth() == 0 }
+
+func (q *taskQueue) push(t *task) {
+	if t.priority == PriorityBulk {
+		q.bulk = append(q.bulk, t)
+	} else {
+		q.interactive = append(q.interactive, t)
+	}
+}
+
+// pop returns the next task to dispatch: interactive first, unless bulk
+// work has already been overtaken ageAfter times, in which case the
+// oldest bulk task runs (the aging rule).
+func (q *taskQueue) pop(ageAfter int) *task {
+	popBulk := len(q.interactive) == 0 || (len(q.bulk) > 0 && q.overtakes >= ageAfter)
+	if popBulk && len(q.bulk) > 0 {
+		t := q.bulk[0]
+		q.bulk = q.bulk[1:]
+		q.overtakes = 0
+		return t
+	}
+	t := q.interactive[0]
+	q.interactive = q.interactive[1:]
+	if len(q.bulk) > 0 {
+		q.overtakes++
+	}
+	return t
+}
+
+// remove deletes a queued task (cancellation path). It is a no-op if the
+// task is not queued. Emptying the bulk class clears the aging credit:
+// overtakes measure how long the *current* head bulk task has waited,
+// and must not carry over to a future bulk arrival.
+func (q *taskQueue) remove(t *task) {
+	for _, class := range []*[]*task{&q.interactive, &q.bulk} {
+		for i, qt := range *class {
+			if qt == t {
+				*class = append((*class)[:i], (*class)[i+1:]...)
+				if len(q.bulk) == 0 {
+					q.overtakes = 0
+				}
+				return
+			}
+		}
+	}
+}
+
+// QueueStats is the /healthz snapshot of the queue: total depth plus
+// per-kind and per-priority-class backlogs.
+type QueueStats struct {
+	Depth   int            `json:"depth"`
+	ByKind  map[string]int `json:"by_kind"`
+	ByClass map[string]int `json:"by_class"`
+}
