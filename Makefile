@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke cover bench explore-smoke report-smoke clean
+.PHONY: build vet test test-race fuzz-smoke cover bench explore-smoke report-smoke recover-smoke clean
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ fuzz-smoke:
 # (the total), and enforces the ratchet gate: the total must not drop
 # below the COVERAGE.md snapshot minus one point (COVER_FLOOR). Raise
 # the floor when COVERAGE.md's snapshot moves up.
-COVER_FLOOR ?= 72.9
+COVER_FLOOR ?= 73.8
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
@@ -52,7 +52,7 @@ bench:
 		echo "backed up previous BENCH_step.json to BENCH_history/"; \
 	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkExploreBoundarySearch$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
@@ -82,6 +82,14 @@ report-smoke:
 		$(GO) run ./cmd/tables -reps 1 -steps 1500 -only 4,fig6 \
 			-out $$dir/results -cache-dir $$dir/cache | grep "cache served" && \
 		rm -rf $$dir
+
+# recover-smoke exercises crash recovery against the real daemon: build
+# adasimd and adasimctl, submit a slow job to a journaled daemon, kill
+# the daemon with SIGKILL mid-run, restart it on the same journal and
+# cache directories, and verify the recovered job finishes with results
+# byte-identical to an uninterrupted reference daemon.
+recover-smoke:
+	./scripts/recover_smoke.sh
 
 clean:
 	rm -f BENCH_step.json cover.out

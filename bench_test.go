@@ -680,3 +680,123 @@ func BenchmarkArbitration(b *testing.B) {
 		_ = arb.Arbitrate(in)
 	}
 }
+
+// BenchmarkJournalRecovery measures crash recovery end to end: each
+// iteration boots a dispatcher on a journal directory holding live
+// (never finalized) submissions whose runs are already in the on-disk
+// result cache — the post-crash fast path — and times replay plus
+// re-execution until every recovered task is done.
+func BenchmarkJournalRecovery(b *testing.B) {
+	const tasks = 16
+	specFor := func(i int) service.JobSpec {
+		return service.JobSpec{
+			Reps:          1,
+			Steps:         600,
+			BaseSeed:      int64(i + 1),
+			Fault:         fi.DefaultParams(fi.TargetMixed),
+			Interventions: core.InterventionSet{Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent},
+		}
+	}
+	// The occupier pins the single-task scheduler while the journaled
+	// workload is submitted: against a cold cache its first runs take
+	// far longer than the submit loop, so no other task can start (let
+	// alone finalize) before Halt freezes the journal.
+	occupier := service.JobSpec{
+		Reps:          64,
+		Steps:         2000,
+		BaseSeed:      1000,
+		Fault:         fi.DefaultParams(fi.TargetMixed),
+		Interventions: core.InterventionSet{Driver: true, SafetyCheck: true, AEB: aebs.SourceIndependent},
+	}
+	cacheDir := b.TempDir()
+	drain := func(d *service.Dispatcher, halt bool) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		var err error
+		if halt {
+			err = d.Halt(ctx)
+		} else {
+			err = d.Drain(ctx)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Warm the content-addressed disk cache with every run the
+	// journaled workload will need.
+	{
+		d, err := service.NewDispatcher(service.Config{QueueSize: 64, CacheEntries: 1 << 10, CacheDir: cacheDir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < tasks; i++ {
+			view, err := d.Submit(specFor(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-d.Done(view.ID)
+		}
+		view, err := d.Submit(occupier)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-d.Done(view.ID)
+		drain(d, false)
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		// Seed a crash-frozen journal: occupy the scheduler, submit the
+		// workload behind it, then halt before any terminal record lands
+		// — every task stays live on disk. The seeding dispatcher must
+		// NOT see the warm disk cache: against its cold in-memory cache
+		// the occupier's runs keep the serial scheduler busy for the
+		// whole (fsync-paced) submit loop, so nothing can finalize.
+		journalDir := b.TempDir()
+		cfg := service.Config{QueueSize: 64, CacheEntries: 1 << 10,
+			CacheDir: cacheDir, JournalDir: journalDir}
+		seedCfg := cfg
+		seedCfg.CacheDir = ""
+		seed, err := service.NewDispatcher(seedCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]string, 0, tasks+1)
+		occ, err := seed.Submit(occupier)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, occ.ID)
+		for i := 0; i < tasks; i++ {
+			view, err := seed.Submit(specFor(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, view.ID)
+		}
+		drain(seed, true)
+		b.StartTimer()
+
+		d, err := service.NewDispatcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ids {
+			ch := d.TaskDone(id)
+			if ch == nil {
+				b.Fatalf("task %s not recovered", id)
+			}
+			<-ch
+		}
+		b.StopTimer()
+		rec := d.Recovery()
+		if rec == nil || rec.RecoveredTasks != tasks+1 {
+			b.Fatalf("recovery = %+v, want %d tasks", rec, tasks+1)
+		}
+		drain(d, false)
+		b.StartTimer()
+	}
+	b.ReportMetric(tasks+1, "tasks/op")
+}

@@ -8,6 +8,13 @@
 //	adasimd                                  # :8080, GOMAXPROCS workers
 //	adasimd -addr :9090 -workers 8 -queue 128
 //	adasimd -cache-dir /var/cache/adasim     # persistent result store
+//	adasimd -journal-dir /var/lib/adasim     # crash-safe task journal
+//
+// With -journal-dir every accepted task is appended to a write-ahead
+// journal before it is queued, and on boot the daemon replays the
+// journal: tasks that never reached a terminal state are re-submitted
+// in their original order (runs already in the result cache are served
+// from it, so recovery is mostly cache hits).
 //
 // SIGINT/SIGTERM triggers a graceful drain: submissions are rejected
 // with 503, queued and running tasks finish (canceled ones are
@@ -45,6 +52,11 @@ func run() error {
 		cacheDir     = flag.String("cache-dir", "", "optional on-disk result store directory")
 		ageAfter     = flag.Int("age-after", 0, "promote waiting bulk work after this many interactive overtakes (0 = default 4)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to finish tasks on shutdown")
+		journalDir   = flag.String("journal-dir", "", "optional write-ahead task journal directory (enables restart recovery)")
+		runRetries   = flag.Int("run-retries", 0, "extra attempts per failing run (0 = default 2, negative = disabled)")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
+		writeTimeout = flag.Duration("write-timeout", 5*time.Minute, "max time to write a response")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 	)
 	flag.Parse()
 
@@ -54,16 +66,33 @@ func run() error {
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
 		AgeAfter:     *ageAfter,
+		JournalDir:   *journalDir,
+		RunRetries:   *runRetries,
 	})
 	if err != nil {
 		return err
 	}
+	if rec := d.Recovery(); rec != nil {
+		log.Printf("adasimd: journal replay: %d recovered, %d already terminal, %d failed replays, %d corrupt records",
+			rec.RecoveredTasks, rec.TerminalTasks, rec.FailedReplays, rec.CorruptRecords)
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(d)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewServer(d),
+		// Server-side timeouts bound what a slow or stuck client can pin:
+		// a connection trickling its request, a response nobody reads, an
+		// idle keep-alive. Write generously covers long task-wait polls
+		// and multi-MB result bodies.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("adasimd: listening on %s (workers=%d queue=%d cache=%d dir=%q)",
-			*addr, d.Workers(), *queueSize, *cacheEntries, *cacheDir)
+		log.Printf("adasimd: listening on %s (workers=%d queue=%d cache=%d dir=%q journal=%q)",
+			*addr, d.Workers(), *queueSize, *cacheEntries, *cacheDir, *journalDir)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

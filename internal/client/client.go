@@ -14,12 +14,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"adasim/internal/service"
+)
+
+// Retry backoff shape: exponential from base to cap, with each sleep
+// jittered to 50–100% of its nominal value so a burst of rejected
+// clients does not re-converge on the server in lockstep.
+const (
+	retryBaseBackoff = 100 * time.Millisecond
+	retryMaxBackoff  = 2 * time.Second
 )
 
 // Client talks to one adasimd base URL.
@@ -29,6 +39,13 @@ type Client struct {
 	// Poll is the status-polling interval of the Wait helpers; zero means
 	// 200ms.
 	Poll time.Duration
+	// Retries is how many times a request rejected with 429 (queue full)
+	// or 503 (draining, journal unavailable) is retried; zero means 3,
+	// negative disables retrying. Only those two statuses are retried:
+	// they mean the server definitively did not act on the request, so a
+	// retry can never duplicate work. Transport errors are NOT retried —
+	// the request may have been applied.
+	Retries int
 	// HTTP is the underlying client; the zero value works.
 	HTTP http.Client
 }
@@ -45,15 +62,84 @@ func (c *Client) poll() time.Duration {
 	return c.Poll
 }
 
+func (c *Client) retries() int {
+	if c.Retries == 0 {
+		return 3
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+// do issues the request built by build, retrying 429/503 rejections with
+// jittered exponential backoff (honoring a Retry-After hint when the
+// server sends one). build constructs a fresh request per attempt, so a
+// consumed body never leaks across attempts.
+func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := retryBaseBackoff
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryableStatus(resp.StatusCode) || attempt >= c.retries() {
+			return resp, nil
+		}
+		wait := backoff
+		if ra := retryAfter(resp); ra > 0 {
+			wait = ra
+		}
+		// Drain and close so the keep-alive connection is reusable.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1)))
+		backoff *= 2
+		if backoff > retryMaxBackoff {
+			backoff = retryMaxBackoff
+		}
+	}
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryAfter parses a delay-seconds Retry-After header; zero when absent
+// or unparseable (HTTP-date values are rare here and fall back to the
+// client's own backoff).
+func retryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // PostJSON posts body as JSON and decodes the response into out (which
 // may be nil). Non-2xx responses become errors carrying the server's
-// error body.
+// error body; 429/503 rejections are retried (see Retries).
 func (c *Client) PostJSON(path string, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(b))
+	resp, err := c.do(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -62,7 +148,9 @@ func (c *Client) PostJSON(path string, body, out any) error {
 
 // GetJSON fetches path and decodes the response into out.
 func (c *Client) GetJSON(path string, out any) error {
-	resp, err := c.HTTP.Get(c.Base + path)
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.Base+path, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -72,7 +160,9 @@ func (c *Client) GetJSON(path string, out any) error {
 // GetRaw fetches path and returns the raw response body, preserving the
 // server's byte-exact encoding.
 func (c *Client) GetRaw(path string) ([]byte, error) {
-	resp, err := c.HTTP.Get(c.Base + path)
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.Base+path, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -90,11 +180,9 @@ func (c *Client) GetRaw(path string) ([]byte, error) {
 // Delete issues a DELETE and decodes the response into out (which may
 // be nil).
 func (c *Client) Delete(path string, out any) error {
-	req, err := http.NewRequest(http.MethodDelete, c.Base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.HTTP.Do(req)
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodDelete, c.Base+path, nil)
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler rejects the first n requests with code (plus an optional
+// Retry-After header), then serves 202 with a tiny JSON body.
+func flakyHandler(n int64, code int, retryAfter string) (*atomic.Int64, http.HandlerFunc) {
+	var calls atomic.Int64
+	return &calls, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"busy"}` + "\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j000001-deadbeef"}` + "\n"))
+	}
+}
+
+// TestRetryOn429 pins the client retry: a submission bounced twice with
+// 429 (queue full) succeeds on the third attempt without surfacing an
+// error, honoring the Retry-After hint.
+func TestRetryOn429(t *testing.T) {
+	calls, h := flakyHandler(2, http.StatusTooManyRequests, "0")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.PostJSON("/v1/tasks/jobs", map[string]any{}, &out); err != nil {
+		t.Fatalf("retried submission failed: %v", err)
+	}
+	if out.ID != "j000001-deadbeef" {
+		t.Fatalf("decoded %+v", out)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("requests = %d, want 3 (two rejections + success)", got)
+	}
+}
+
+// TestRetryExhausted503 pins the bound: a server that never recovers
+// yields the final 503 as an error after Retries+1 attempts.
+func TestRetryExhausted503(t *testing.T) {
+	calls, h := flakyHandler(1<<30, http.StatusServiceUnavailable, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retries = 2
+	err := c.GetJSON("/healthz", nil)
+	if err == nil || !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("err = %v, want the server's 503 body", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("requests = %d, want 3 (1 + Retries)", got)
+	}
+}
+
+// TestRetryDisabled pins the opt-out: negative Retries surfaces the
+// first rejection immediately.
+func TestRetryDisabled(t *testing.T) {
+	calls, h := flakyHandler(1<<30, http.StatusTooManyRequests, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retries = -1
+	if err := c.GetJSON("/healthz", nil); err == nil {
+		t.Fatal("expected the 429 to surface")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("requests = %d, want 1", got)
+	}
+}
+
+// TestNoRetryOn4xx pins the safety property: statuses other than
+// 429/503 (here 400) are never retried — the server may have acted on
+// the request.
+func TestNoRetryOn4xx(t *testing.T) {
+	calls, h := flakyHandler(1<<30, http.StatusBadRequest, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	start := time.Now()
+	if err := c.PostJSON("/v1/tasks/jobs", map[string]any{}, nil); err == nil {
+		t.Fatal("expected the 400 to surface")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("requests = %d, want 1 (4xx must not be retried)", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("non-retryable failure took %s; no backoff should apply", elapsed)
+	}
+}

@@ -3,23 +3,44 @@ package service
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
-
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"adasim/internal/metrics"
 )
 
+// DiskErrorStats counts disk-store failures by kind. The cache is an
+// accelerator — failures never fail a Get or Put — but they must be
+// visible: a dying disk shows up here (and in /healthz) long before it
+// shows up as mysteriously slow recoveries.
+type DiskErrorStats struct {
+	// Write counts failed disk-store writes (marshal, mkdir, temp file,
+	// write, rename).
+	Write int64 `json:"write"`
+	// Read counts failed disk reads other than plain misses
+	// (fs.ErrNotExist is a miss, not an error).
+	Read int64 `json:"read"`
+	// Decode counts entries whose JSON did not parse; each one is
+	// quarantined (renamed to <key>.corrupt) so it is counted once, not
+	// on every lookup.
+	Decode int64 `json:"decode"`
+}
+
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	MaxSize   int   `json:"max_size"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	DiskHits  int64 `json:"disk_hits"`
-	Evictions int64 `json:"evictions"`
+	Entries    int            `json:"entries"`
+	MaxSize    int            `json:"max_size"`
+	Hits       int64          `json:"hits"`
+	Misses     int64          `json:"misses"`
+	DiskHits   int64          `json:"disk_hits"`
+	Evictions  int64          `json:"evictions"`
+	DiskErrors DiskErrorStats `json:"disk_errors"`
 }
 
 // ResultCache is a content-addressed store of per-run outcomes keyed by
@@ -37,6 +58,11 @@ type ResultCache struct {
 	dir string
 
 	hits, misses, diskHits, evictions int64
+
+	// Disk-store error counters are atomic, not mu-guarded: readDisk and
+	// writeDisk deliberately run outside the lock so a slow disk cannot
+	// stall memory hits.
+	diskWriteErrs, diskReadErrs, diskDecodeErrs atomic.Int64
 }
 
 type cacheEntry struct {
@@ -78,15 +104,13 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 	}
 	c.mu.Unlock()
 
-	if c.dir != "" {
-		if out, ok := c.readDisk(key); ok {
-			c.mu.Lock()
-			c.hits++
-			c.diskHits++
-			c.insertLocked(key, out)
-			c.mu.Unlock()
-			return out, true
-		}
+	if out, ok := c.readDisk(key); ok {
+		c.mu.Lock()
+		c.hits++
+		c.diskHits++
+		c.insertLocked(key, out)
+		c.mu.Unlock()
+		return out, true
 	}
 
 	c.mu.Lock()
@@ -96,15 +120,14 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 }
 
 // Put stores the outcome under key, evicting the least recently used
-// entry when full. Disk-store write failures are swallowed: the cache is
-// an accelerator, never a correctness dependency.
+// entry when full. Disk-store write failures are swallowed (but counted
+// in DiskErrorStats): the cache is an accelerator, never a correctness
+// dependency.
 func (c *ResultCache) Put(key string, out metrics.Outcome) {
 	c.mu.Lock()
 	c.insertLocked(key, out)
 	c.mu.Unlock()
-	if c.dir != "" {
-		c.writeDisk(key, out)
-	}
+	c.writeDisk(key, out)
 }
 
 // insertLocked adds or refreshes an entry; c.mu must be held.
@@ -134,55 +157,90 @@ func (c *ResultCache) Stats() CacheStats {
 		Misses:    c.misses,
 		DiskHits:  c.diskHits,
 		Evictions: c.evictions,
+		DiskErrors: DiskErrorStats{
+			Write:  c.diskWriteErrs.Load(),
+			Read:   c.diskReadErrs.Load(),
+			Decode: c.diskDecodeErrs.Load(),
+		},
 	}
 }
 
-// diskPath shards entries over 256 two-hex-digit directories so a large
-// store does not degenerate into one huge flat directory.
-func (c *ResultCache) diskPath(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".json")
+// diskPath is the single validity gate for disk-store keys: it returns
+// the entry's path and whether the disk store applies at all (enabled,
+// and the key long enough to shard). Every disk-side method goes through
+// it, so the key contract lives in exactly one place.
+//
+// Entries shard over 256 two-hex-digit directories so a large store does
+// not degenerate into one huge flat directory.
+func (c *ResultCache) diskPath(key string) (string, bool) {
+	if c.dir == "" || len(key) < 2 {
+		return "", false
+	}
+	return filepath.Join(c.dir, key[:2], key+".json"), true
 }
 
 func (c *ResultCache) readDisk(key string) (metrics.Outcome, bool) {
-	if len(key) < 2 {
+	path, ok := c.diskPath(key)
+	if !ok {
 		return metrics.Outcome{}, false
 	}
-	b, err := os.ReadFile(c.diskPath(key))
+	b, err := os.ReadFile(path)
 	if err != nil {
+		// Absence is the normal miss; anything else is a real read
+		// failure worth counting.
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.diskReadErrs.Add(1)
+		}
 		return metrics.Outcome{}, false
 	}
 	var out metrics.Outcome
 	if err := json.Unmarshal(b, &out); err != nil {
+		c.diskDecodeErrs.Add(1)
+		c.quarantine(path)
 		return metrics.Outcome{}, false
 	}
 	return out, true
 }
 
+// quarantine moves a corrupt entry aside (<key>.corrupt) so the bad
+// bytes are preserved for inspection, the slot is free for a clean
+// rewrite, and the decode error is counted once instead of on every
+// lookup of that key.
+func (c *ResultCache) quarantine(path string) {
+	_ = os.Rename(path, strings.TrimSuffix(path, ".json")+".corrupt")
+}
+
 func (c *ResultCache) writeDisk(key string, out metrics.Outcome) {
-	if len(key) < 2 {
+	path, ok := c.diskPath(key)
+	if !ok {
 		return
 	}
 	b, err := json.Marshal(out)
 	if err != nil {
+		c.diskWriteErrs.Add(1)
 		return
 	}
-	path := c.diskPath(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.diskWriteErrs.Add(1)
 		return
 	}
 	// Write-then-rename keeps readers from observing partial files.
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key)
 	if err != nil {
+		c.diskWriteErrs.Add(1)
 		return
 	}
 	if _, err := tmp.Write(b); err == nil {
 		err = tmp.Close()
 		if err == nil {
-			_ = os.Rename(tmp.Name(), path)
+			if err := os.Rename(tmp.Name(), path); err != nil {
+				c.diskWriteErrs.Add(1)
+			}
 			return
 		}
 	} else {
 		tmp.Close()
 	}
+	c.diskWriteErrs.Add(1)
 	_ = os.Remove(tmp.Name())
 }

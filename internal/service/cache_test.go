@@ -1,7 +1,12 @@
 package service
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"adasim/internal/metrics"
@@ -102,5 +107,141 @@ func TestCacheEvictionKeepsDiskCopy(t *testing.T) {
 	got, ok := c.Get(key(1))
 	if !ok || got.Steps != 1 {
 		t.Error("evicted entry not recovered from disk")
+	}
+}
+
+// TestCacheCorruptEntryQuarantined pins the corrupt-entry path: a disk
+// entry whose JSON does not parse is a miss (counted under
+// disk_errors.decode), is quarantined as <key>.corrupt so it is counted
+// once, and a clean rewrite of the same key works.
+func TestCacheCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(1), metrics.Outcome{Steps: 1})
+
+	// Corrupt the entry on disk, then force a disk read via a fresh
+	// cache over the same dir.
+	path, ok := c.diskPath(key(1))
+	if !ok {
+		t.Fatal("disk store not enabled")
+	}
+	if err := os.WriteFile(path, []byte(`{"steps": 7,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key(1)); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	st := c2.Stats()
+	if st.DiskErrors.Decode != 1 {
+		t.Fatalf("disk_errors.decode = %d, want 1", st.DiskErrors.Decode)
+	}
+	corrupt := strings.TrimSuffix(path, ".json") + ".corrupt"
+	if _, err := os.Stat(corrupt); err != nil {
+		t.Fatalf("corrupt entry not quarantined at %s: %v", corrupt, err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("corrupt entry still occupies its slot: %v", err)
+	}
+	// A second lookup is a plain miss, not another decode error.
+	if _, ok := c2.Get(key(1)); ok {
+		t.Fatal("quarantined entry served as a hit")
+	}
+	if st := c2.Stats(); st.DiskErrors.Decode != 1 {
+		t.Fatalf("decode errors after quarantine = %d, want still 1", st.DiskErrors.Decode)
+	}
+	// The slot is reusable.
+	c2.Put(key(1), metrics.Outcome{Steps: 2})
+	c3, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c3.Get(key(1)); !ok || got.Steps != 2 {
+		t.Fatalf("rewritten entry = %+v %v, want Steps=2", got, ok)
+	}
+}
+
+// TestCacheUnwritableDir pins write-error accounting: when the shard
+// directory cannot be created (a regular file sits where the directory
+// should be), Put still serves the entry from memory and counts the
+// failure under disk_errors.write.
+func TestCacheUnwritableDir(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block the shard directory with a regular file (works even as
+	// root, unlike permission tricks).
+	if err := os.WriteFile(filepath.Join(dir, key(1)[:2]), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(1), metrics.Outcome{Steps: 1})
+	if got, ok := c.Get(key(1)); !ok || got.Steps != 1 {
+		t.Fatal("memory entry must survive a disk write failure")
+	}
+	st := c.Stats()
+	if st.DiskErrors.Write != 1 {
+		t.Fatalf("disk_errors.write = %d, want 1", st.DiskErrors.Write)
+	}
+	// And the failure is invisible to a fresh cache: no disk entry, no
+	// phantom error counts.
+	c2, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key(1)); ok {
+		t.Fatal("entry materialized on disk despite the write failure")
+	}
+}
+
+// TestCacheReadError pins read-error accounting: a directory sitting
+// where the entry file should be is a read failure (not a plain miss)
+// and counts under disk_errors.read.
+func TestCacheReadError(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := c.diskPath(key(1))
+	if !ok {
+		t.Fatal("disk store not enabled")
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("unexpected hit")
+	}
+	st := c.Stats()
+	if st.DiskErrors.Read != 1 {
+		t.Fatalf("disk_errors.read = %d, want 1", st.DiskErrors.Read)
+	}
+}
+
+// TestCacheShortKey pins the validated key helper: keys too short to
+// shard never touch the disk store but still work in memory.
+func TestCacheShortKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.diskPath("k"); ok {
+		t.Fatal("one-byte key must not map to a disk path")
+	}
+	c.Put("k", metrics.Outcome{Steps: 9})
+	if got, ok := c.Get("k"); !ok || got.Steps != 9 {
+		t.Fatal("short key lost in memory")
+	}
+	if st := c.Stats(); st.DiskErrors != (DiskErrorStats{}) {
+		t.Fatalf("short key counted as a disk error: %+v", st.DiskErrors)
 	}
 }

@@ -2,12 +2,18 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adasim/internal/core"
 	"adasim/internal/experiments"
 	"adasim/internal/explore"
 	"adasim/internal/metrics"
@@ -28,6 +34,25 @@ var (
 	// ErrTaskTerminal means the task already reached a terminal state,
 	// so a cancellation request has nothing to stop.
 	ErrTaskTerminal = errors.New("service: task already terminal")
+	// ErrJournal means the write-ahead journal could not record the
+	// submission; the task was NOT accepted, because its durability
+	// cannot be promised. Transient (the client may retry).
+	ErrJournal = errors.New("service: task journal write failed")
+	// ErrRunPanic marks a run that panicked inside a worker shard. The
+	// panic is converted into a run failure (never retried — a
+	// deterministic simulation panics deterministically) and fails only
+	// the owning task; the daemon and its other tasks keep going.
+	ErrRunPanic = errors.New("service: run panicked")
+	// ErrTaskPanic marks a task whose kind-level Run (the engine around
+	// the runs, not a run itself) panicked; isolation is the same.
+	ErrTaskPanic = errors.New("service: task panicked")
+)
+
+// Worker-shard retry policy for transient run failures: capped
+// exponential backoff starting at the base, doubling per attempt.
+const (
+	runRetryBaseBackoff = 5 * time.Millisecond
+	runRetryMaxBackoff  = 250 * time.Millisecond
 )
 
 // Config sizes the dispatcher.
@@ -57,6 +82,18 @@ type Config struct {
 	// interactive dispatches have overtaken waiting bulk work, the next
 	// dispatch must be the oldest bulk task. Zero means 4.
 	AgeAfter int
+	// JournalDir, when non-empty, enables the write-ahead task journal:
+	// a submission is appended (and fsynced) before it is queued, so an
+	// accepted task survives a crash, and a new dispatcher on the same
+	// directory re-queues every non-terminal task in its original
+	// submission order. Pair it with CacheDir so the replayed work is
+	// mostly served from the content-addressed disk cache.
+	JournalDir string
+	// RunRetries is how many times a worker shard retries a failed run
+	// (with capped exponential backoff) before surfacing the failure to
+	// the owning task. Panics are never retried. Zero means 2; negative
+	// disables retries.
+	RunRetries int
 }
 
 func (c Config) normalized() Config {
@@ -77,6 +114,11 @@ func (c Config) normalized() Config {
 	}
 	if c.AgeAfter <= 0 {
 		c.AgeAfter = 4
+	}
+	if c.RunRetries == 0 {
+		c.RunRetries = 2
+	} else if c.RunRetries < 0 {
+		c.RunRetries = 0
 	}
 	return c
 }
@@ -105,6 +147,15 @@ type Dispatcher struct {
 	cfg   Config
 	cache *ResultCache
 
+	journal  *Journal
+	recovery *RecoveryStats
+
+	// runFn executes one run on a shard's Runner; it defaults to
+	// Runner.Do and is overridable (newDispatcher) so the fault-injection
+	// tests can inject panics and transient failures beneath the retry
+	// and isolation layers.
+	runFn func(*experiments.Runner, core.Options) (*core.Result, error)
+
 	mu    sync.Mutex
 	cond  *sync.Cond // signals queue activity to the scheduler
 	tasks map[string]*task
@@ -115,32 +166,176 @@ type Dispatcher struct {
 	taskCh chan runTask
 
 	draining  bool
+	halted    atomic.Bool // crash simulation: suppress journal writes
 	tasksOnce sync.Once
 	schedDone chan struct{}
 	workerWG  sync.WaitGroup
 }
 
-// NewDispatcher starts the worker shards and the scheduler.
-func NewDispatcher(cfg Config) (*Dispatcher, error) {
+// RecoveryStats summarizes the journal replay performed at boot.
+type RecoveryStats struct {
+	// Segments is how many journal segment files were scanned.
+	Segments int `json:"segments"`
+	// RecoveredTasks is how many non-terminal submissions were re-queued.
+	RecoveredTasks int `json:"recovered_tasks"`
+	// TerminalTasks is how many journaled submissions were already
+	// terminal and therefore skipped.
+	TerminalTasks int `json:"terminal_tasks"`
+	// FailedReplays is how many live records failed to decode or prepare
+	// (a journal written by an incompatible version); each becomes a
+	// terminal failed task instead of poisoning recovery.
+	FailedReplays int `json:"failed_replays"`
+	// CorruptRecords counts unparsable journal lines (torn tails from a
+	// crash mid-append); they are skipped, never fatal.
+	CorruptRecords int `json:"corrupt_records"`
+}
+
+// NewDispatcher replays the journal (when configured), then starts the
+// worker shards and the scheduler — recovered tasks are queued before
+// anything submitted after boot.
+func NewDispatcher(cfg Config) (*Dispatcher, error) { return newDispatcher(cfg, nil) }
+
+// newDispatcher is NewDispatcher with an optional run-function override
+// (nil means the real Runner.Do), the injection point of the chaos
+// tests.
+func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*core.Result, error)) (*Dispatcher, error) {
 	cfg = cfg.normalized()
 	cache, err := NewResultCache(cfg.CacheEntries, cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
+	if runFn == nil {
+		runFn = func(r *experiments.Runner, opts core.Options) (*core.Result, error) { return r.Do(opts) }
+	}
 	d := &Dispatcher{
 		cfg:       cfg,
 		cache:     cache,
+		runFn:     runFn,
 		tasks:     make(map[string]*task),
 		taskCh:    make(chan runTask),
 		schedDone: make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	if cfg.JournalDir != "" {
+		j, recs, stats, err := openJournal(cfg.JournalDir, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.journal = j
+		d.recoverTasks(recs, stats)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		d.workerWG.Add(1)
 		go d.worker()
 	}
 	go d.scheduler()
 	return d, nil
+}
+
+// recoverTasks re-queues the journal's live submissions in their
+// original submission order. It runs before the scheduler starts. A
+// record that no longer decodes or prepares becomes a terminal failed
+// task (visible over the API, journaled terminal so compaction drops
+// it) rather than aborting recovery.
+func (d *Dispatcher) recoverTasks(recs []journalRecord, stats ReplayStats) {
+	byPlural := make(map[string]*TaskKind, len(taskKinds))
+	for _, k := range taskKinds {
+		byPlural[k.Plural] = k
+	}
+	summary := &RecoveryStats{
+		Segments:       stats.Segments,
+		TerminalTasks:  stats.TerminalTasks,
+		CorruptRecords: stats.CorruptLines,
+	}
+	d.seq = stats.MaxSeq
+	for _, rec := range recs {
+		if err := d.recoverOne(byPlural[rec.Kind], rec); err != nil {
+			summary.FailedReplays++
+			d.journal.Append(journalRecord{
+				Op: opFailed, ID: rec.ID,
+				Error: fmt.Sprintf("recovery: %v", err),
+				At:    time.Now().UTC(),
+			})
+		} else {
+			summary.RecoveredTasks++
+		}
+	}
+	d.recovery = summary
+}
+
+// recoverOne rebuilds one journaled task through the same strict
+// Decode/Prepare pipeline a fresh submission uses, preserving its ID,
+// priority, and submission time, and queues it.
+func (d *Dispatcher) recoverOne(kind *TaskKind, rec journalRecord) error {
+	if kind == nil {
+		return fmt.Errorf("unknown task kind %q", rec.Kind)
+	}
+	spec, err := kind.Decode(rec.Spec)
+	if err != nil {
+		d.recordReplayFailure(kind, rec, err)
+		return err
+	}
+	prep, err := spec.Prepare()
+	if err != nil {
+		d.recordReplayFailure(kind, rec, err)
+		return err
+	}
+	priority, perr := ParsePriority(rec.Priority)
+	if perr != nil || priority == "" {
+		priority = kind.Priority
+	}
+	t := &task{
+		id:          rec.ID,
+		kind:        kind,
+		hash:        prep.Hash,
+		prep:        prep,
+		priority:    priority,
+		status:      StatusQueued,
+		submittedAt: rec.At,
+		done:        make(chan struct{}),
+	}
+	d.mu.Lock()
+	d.queue.push(t)
+	d.tasks[t.id] = t
+	d.order = append(d.order, t.id)
+	d.mu.Unlock()
+	return nil
+}
+
+// recordReplayFailure retains a terminal failed record for a journaled
+// task that no longer replays, so its ID answers over the API instead
+// of vanishing.
+func (d *Dispatcher) recordReplayFailure(kind *TaskKind, rec journalRecord, cause error) {
+	now := time.Now().UTC()
+	t := &task{
+		id:          rec.ID,
+		kind:        kind,
+		priority:    kind.Priority,
+		status:      StatusFailed,
+		errMsg:      fmt.Sprintf("journal replay: %v", cause),
+		submittedAt: rec.At,
+		finishedAt:  &now,
+		done:        make(chan struct{}),
+	}
+	close(t.done)
+	d.mu.Lock()
+	d.tasks[t.id] = t
+	d.order = append(d.order, t.id)
+	d.pruneLocked()
+	d.mu.Unlock()
+}
+
+// Recovery returns the boot-time journal replay summary, or nil when
+// journaling is disabled.
+func (d *Dispatcher) Recovery() *RecoveryStats { return d.recovery }
+
+// JournalStats snapshots the journal counters; ok is false when
+// journaling is disabled.
+func (d *Dispatcher) JournalStats() (JournalStats, bool) {
+	if d.journal == nil {
+		return JournalStats{}, false
+	}
+	return d.journal.Stats(), true
 }
 
 // Cache exposes the result cache (read-mostly: stats, pre-warming).
@@ -187,7 +382,10 @@ func (d *Dispatcher) Draining() bool {
 
 // SubmitTask prepares (normalizes, validates, hashes) and enqueues a
 // task of the given kind. An empty priority means the kind's default
-// class. It never blocks: a full queue returns ErrQueueFull.
+// class. It never blocks: a full queue returns ErrQueueFull. With
+// journaling enabled, the submission is durable on disk before the task
+// becomes visible — a journal write failure rejects the submission
+// (ErrJournal) rather than admitting work that a crash would lose.
 func (d *Dispatcher) SubmitTask(kind *TaskKind, spec TaskSpec, priority PriorityClass) (TaskView, error) {
 	// Validate here, not only in the HTTP handler, so Go callers cannot
 	// enqueue a class the queue does not schedule.
@@ -200,6 +398,15 @@ func (d *Dispatcher) SubmitTask(kind *TaskKind, spec TaskSpec, priority Priority
 	}
 	if priority == "" {
 		priority = kind.Priority
+	}
+	var specBytes []byte
+	if d.journal != nil {
+		if kind.Encode == nil {
+			return TaskView{}, fmt.Errorf("service: kind %q has no Encode; cannot journal its submissions", kind.Name)
+		}
+		if specBytes, err = kind.Encode(spec); err != nil {
+			return TaskView{}, fmt.Errorf("service: encoding %s spec for the journal: %w", kind.Name, err)
+		}
 	}
 
 	d.mu.Lock()
@@ -220,6 +427,15 @@ func (d *Dispatcher) SubmitTask(kind *TaskKind, spec TaskSpec, priority Priority
 		status:      StatusQueued,
 		submittedAt: time.Now().UTC(),
 		done:        make(chan struct{}),
+	}
+	if d.journal != nil && !d.halted.Load() {
+		if err := d.journal.Append(journalRecord{
+			Op: opSubmit, ID: t.id, Seq: d.seq,
+			Kind: kind.Plural, Priority: string(priority),
+			Spec: specBytes, At: t.submittedAt,
+		}); err != nil {
+			return TaskView{}, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
 	}
 	d.queue.push(t)
 	d.tasks[t.id] = t
@@ -323,6 +539,7 @@ func (d *Dispatcher) cancelTask(id string, kind *TaskKind) (TaskView, error) {
 		t.errMsg = "canceled while queued"
 		t.prep.Run = nil // release the plan; it will never execute
 		close(t.done)
+		d.journalTerminal(t, "")
 		d.pruneLocked()
 	case StatusRunning:
 		t.cancel.Store(true)
@@ -381,6 +598,9 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 	go func() { d.workerWG.Wait(); close(workersDone) }()
 	select {
 	case <-workersDone:
+		if d.journal != nil {
+			d.journal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
@@ -432,10 +652,14 @@ func (d *Dispatcher) scheduler() {
 // executeTask runs one task (already marked running by the scheduler)
 // through its kind's Run on the shard executor, then finalizes the
 // record: done with its result, failed with its error, or canceled with
-// partial results discarded.
+// partial results discarded. The terminal transition is journaled (for
+// done tasks, with a fingerprint of the wire-shaped result) so a
+// restart never replays finished work.
 func (d *Dispatcher) executeTask(t *task) {
 	env := TaskEnv{
-		Exec:  shardExecutor{d: d, canceled: t.cancel.Load},
+		Exec: shardExecutor{d: d, canceled: func() bool {
+			return t.cancel.Load() || d.halted.Load()
+		}},
 		Cache: d.cache,
 		Progress: func(completed, cacheHits int) {
 			// Progress callbacks arrive concurrently from worker
@@ -452,7 +676,14 @@ func (d *Dispatcher) executeTask(t *task) {
 			d.mu.Unlock()
 		},
 	}
-	result, stats, err := t.prep.Run(env)
+	result, stats, err := d.safeRun(t, env)
+
+	// Fingerprint the result before taking the lock (a report marshals
+	// ~0.5 MB); only used if the task finalizes as done.
+	var resultHash string
+	if err == nil && !t.cancel.Load() {
+		resultHash = wireHash(t.kind, t.hash, result)
+	}
 
 	end := time.Now().UTC()
 	d.mu.Lock()
@@ -476,9 +707,71 @@ func (d *Dispatcher) executeTask(t *task) {
 	// closure so a retained record costs its result, not its expanded
 	// plan (a 10k-run job's plan is megabytes of resolved options).
 	t.prep.Run = nil
+	d.journalTerminal(t, resultHash)
 	d.pruneLocked()
 	d.mu.Unlock()
 	close(t.done)
+}
+
+// safeRun executes the task's kind-level Run with panic isolation: a
+// panicking engine fails its own task (with the panic value and stack
+// in the error) instead of taking the daemon down.
+func (d *Dispatcher) safeRun(t *task, env TaskEnv) (result any, stats TaskStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			result, stats = nil, TaskStats{}
+			err = fmt.Errorf("%w: %v\n%s", ErrTaskPanic, p, debug.Stack())
+		}
+	}()
+	return t.prep.Run(env)
+}
+
+// wireHash fingerprints a finished task's results-endpoint encoding
+// (SHA-256 of the wire JSON); empty when the result does not marshal.
+func wireHash(kind *TaskKind, hash string, result any) string {
+	b, err := json.Marshal(kind.Wire(hash, result))
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// journalTerminal appends the terminal record of t (whose status must
+// already be final). It never fails the task — an append error only
+// bumps the journal's error counter — and it is suppressed after Halt:
+// a halted dispatcher simulates a crashed process, whose journal would
+// never have seen the transition. Callers hold d.mu, which also keeps
+// journal order consistent with record state.
+func (d *Dispatcher) journalTerminal(t *task, resultHash string) {
+	if d.journal == nil || d.halted.Load() {
+		return
+	}
+	rec := journalRecord{ID: t.id, At: time.Now().UTC()}
+	switch t.status {
+	case StatusDone:
+		rec.Op, rec.ResultHash = opDone, resultHash
+	case StatusFailed:
+		rec.Op, rec.Error = opFailed, t.errMsg
+	case StatusCanceled:
+		rec.Op = opCanceled
+	default:
+		return // non-terminal: nothing to journal
+	}
+	d.journal.Append(rec) // errors counted inside the journal
+}
+
+// Halt simulates a crash for the recovery machinery: the dispatcher
+// stops accepting work, queued and in-flight tasks are abandoned
+// (canceled in memory, between runs), and — critically — none of those
+// transitions reaches the journal, exactly as if the process had died.
+// The journal therefore still lists the abandoned tasks as live, and
+// the next dispatcher opened on the same journal directory recovers
+// them. Unlike a real crash the goroutines are cleaned up; ctx bounds
+// that wait.
+func (d *Dispatcher) Halt(ctx context.Context) error {
+	d.halted.Store(true)
+	return d.Drain(ctx)
 }
 
 // pruneLocked evicts the oldest finished task records once a retention
@@ -530,12 +823,15 @@ type runTask struct {
 
 // worker is one pool shard: a goroutine owning one experiments.Runner
 // (and therefore one long-lived platform) that services runs until the
-// task channel closes at drain.
+// task channel closes at drain. A failing run is retried (transient
+// faults: capped exponential backoff, Config.RunRetries attempts) and a
+// panicking run is converted into a failed run — the shard, and with it
+// the daemon, survives both.
 func (d *Dispatcher) worker() {
 	defer d.workerWG.Done()
 	var r experiments.Runner
 	for t := range d.taskCh {
-		res, err := r.Do(t.run.Opts)
+		res, err := d.runWithRetry(&r, t.run.Opts)
 		if err != nil {
 			*t.err = fmt.Errorf("run %v/%v/%d: %w",
 				t.run.Key.Scenario, t.run.Key.Gap, t.run.Key.Rep, err)
@@ -545,6 +841,46 @@ func (d *Dispatcher) worker() {
 		}
 		t.wg.Done()
 	}
+}
+
+// runWithRetry executes one run, retrying transient failures up to
+// Config.RunRetries extra attempts with capped exponential backoff.
+// Panics are never retried: a panic means the engine's state is suspect,
+// not that the fault might clear, so it fails the run immediately.
+func (d *Dispatcher) runWithRetry(r *experiments.Runner, opts core.Options) (*core.Result, error) {
+	backoff := runRetryBaseBackoff
+	for attempt := 0; ; attempt++ {
+		res, err := d.runOnce(r, opts)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= d.cfg.RunRetries || errors.Is(err, ErrRunPanic) {
+			if attempt > 0 {
+				err = fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+			}
+			return nil, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > runRetryMaxBackoff {
+			backoff = runRetryMaxBackoff
+		}
+	}
+}
+
+// runOnce executes a single attempt with panic isolation. After a panic
+// the shard's runner is discarded wholesale (its platform may be mid-
+// step and unrecoverable); the replacement lazily builds a fresh
+// platform on the next run.
+func (d *Dispatcher) runOnce(r *experiments.Runner, opts core.Options) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			*r = experiments.Runner{}
+			res = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrRunPanic, p, debug.Stack())
+		}
+	}()
+	return d.runFn(r, opts)
 }
 
 // shardExecutor adapts the dispatcher's worker shards to the canonical

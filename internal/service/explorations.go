@@ -1,6 +1,11 @@
 package service
 
-import "adasim/internal/explore"
+import (
+	"encoding/json"
+	"fmt"
+
+	"adasim/internal/explore"
+)
 
 // ExplorationKind registers scenario-space explorations with the task
 // runtime. All record-keeping, scheduling, pruning, and HTTP plumbing
@@ -18,6 +23,13 @@ var ExplorationKind = RegisterKind(&TaskKind{
 			return nil, err
 		}
 		return exploreTask{spec: spec}, nil
+	},
+	Encode: func(spec TaskSpec) ([]byte, error) {
+		e, ok := spec.(exploreTask)
+		if !ok {
+			return nil, fmt.Errorf("service: exploration encode: unexpected spec type %T", spec)
+		}
+		return json.Marshal(e.spec)
 	},
 	// The report is served as-is (it already carries the spec hash and
 	// no volatile fields), so two explorations of the same spec produce

@@ -1,0 +1,88 @@
+// Fault-injection harness for the service itself. ChaosExecutor and
+// ChaosCache wrap the canonical Executor/Cache contracts with
+// injectable failures so tests (and ad-hoc experiments) can drive the
+// engines and the task runtime through the failure paths on demand:
+// runs that error, runs that panic, a cache that lies about misses or
+// drops writes. The wrappers are deliberately part of the package
+// surface, not test files — the recovery and robustness guarantees are
+// a feature, and the harness that exercises them ships with it.
+
+package service
+
+import (
+	"sync/atomic"
+
+	"adasim/internal/experiments"
+	"adasim/internal/metrics"
+)
+
+// ChaosExecutor wraps an Executor and fails (or blows up) selected runs
+// before they reach the inner executor. The zero hooks make it a
+// transparent pass-through.
+type ChaosExecutor struct {
+	Inner Executor
+	// FailRun, when non-nil, is consulted once per run request; a
+	// non-nil error fails the whole batch with that error, without the
+	// run executing.
+	FailRun func(req experiments.RunRequest) error
+	// PanicRun, when non-nil, panics with its return value for the
+	// first request it selects — modeling an engine bug rather than an
+	// environment fault.
+	PanicRun func(req experiments.RunRequest) (any, bool)
+
+	// Injected counts the faults actually delivered.
+	Injected atomic.Int64
+}
+
+// Execute implements Executor.
+func (ce *ChaosExecutor) Execute(reqs []experiments.RunRequest, onDone func(i int, ro experiments.RunOutcome)) ([]experiments.RunOutcome, error) {
+	for _, req := range reqs {
+		if ce.PanicRun != nil {
+			if v, ok := ce.PanicRun(req); ok {
+				ce.Injected.Add(1)
+				panic(v)
+			}
+		}
+		if ce.FailRun != nil {
+			if err := ce.FailRun(req); err != nil {
+				ce.Injected.Add(1)
+				return nil, err
+			}
+		}
+	}
+	return ce.Inner.Execute(reqs, onDone)
+}
+
+// ChaosCache wraps a Cache with drop-style faults: a failed Get is a
+// miss, a failed Put is silently discarded. Both are correctness-
+// neutral by the cache contract (the cache is an accelerator), which is
+// exactly what the byte-identity tests exercise.
+type ChaosCache struct {
+	Inner Cache
+	// FailGet, when non-nil and returning true, turns that Get into a
+	// miss without consulting the inner cache.
+	FailGet func(key string) bool
+	// FailPut, when non-nil and returning true, drops that Put.
+	FailPut func(key string) bool
+
+	// Injected counts the faults actually delivered.
+	Injected atomic.Int64
+}
+
+// Get implements Cache.
+func (cc *ChaosCache) Get(key string) (metrics.Outcome, bool) {
+	if cc.FailGet != nil && cc.FailGet(key) {
+		cc.Injected.Add(1)
+		return metrics.Outcome{}, false
+	}
+	return cc.Inner.Get(key)
+}
+
+// Put implements Cache.
+func (cc *ChaosCache) Put(key string, out metrics.Outcome) {
+	if cc.FailPut != nil && cc.FailPut(key) {
+		cc.Injected.Add(1)
+		return
+	}
+	cc.Inner.Put(key, out)
+}

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"encoding/json"
+	"fmt"
 	"sync/atomic"
 
 	"adasim/internal/experiments"
@@ -21,6 +23,13 @@ var JobKind = RegisterKind(&TaskKind{
 			return nil, err
 		}
 		return spec, nil
+	},
+	Encode: func(spec TaskSpec) ([]byte, error) {
+		s, ok := spec.(JobSpec)
+		if !ok {
+			return nil, fmt.Errorf("service: job encode: unexpected spec type %T", spec)
+		}
+		return json.Marshal(s)
 	},
 	Wire: func(hash string, result any) any {
 		runs := result.([]experiments.RunOutcome)

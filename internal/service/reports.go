@@ -1,6 +1,11 @@
 package service
 
-import "adasim/internal/report"
+import (
+	"encoding/json"
+	"fmt"
+
+	"adasim/internal/report"
+)
 
 // ReportKind registers paper-artifact reports with the task runtime.
 // Reports are bulk-priority (a full-spec report is orders of magnitude
@@ -23,6 +28,13 @@ var ReportKind = RegisterKind(&TaskKind{
 			return nil, err
 		}
 		return reportTask{spec: spec}, nil
+	},
+	Encode: func(spec TaskSpec) ([]byte, error) {
+		r, ok := spec.(reportTask)
+		if !ok {
+			return nil, fmt.Errorf("service: report encode: unexpected spec type %T", spec)
+		}
+		return json.Marshal(r.spec)
 	},
 	// The result is served as-is (it already carries the spec hash and
 	// no volatile fields), so two reports of the same spec produce

@@ -39,11 +39,18 @@ import (
 // spec -> 400, all with the {"error": ...} body.
 //
 // Every POST endpoint requires a JSON body: a request declaring a
-// non-JSON Content-Type is rejected with 415 before the body is read.
+// non-JSON Content-Type is rejected with 415 before the body is read,
+// and bodies over MaxSpecBytes are rejected with 413.
 type Server struct {
 	d   *Dispatcher
 	mux *http.ServeMux
 }
+
+// MaxSpecBytes caps submission bodies. The largest legitimate spec (a
+// full report spec with explicit scenario lists) is a few KB; 1 MiB
+// leaves orders of magnitude of headroom while keeping a hostile or
+// buggy client from ballooning the daemon's heap.
+const MaxSpecBytes = 1 << 20
 
 // NewServer wires the routes: the generic task routes plus, per
 // registered kind, the submission route and the legacy aliases.
@@ -127,6 +134,11 @@ type HealthResponse struct {
 	Explorations map[Status]int            `json:"explorations"`
 	Reports      map[Status]int            `json:"reports"`
 	Cache        CacheStats                `json:"cache"`
+	// Journal and Recovery are present only when the daemon runs with a
+	// task journal (-journal-dir): the journal's live-set and error
+	// counters, and what the last boot replayed.
+	Journal  *JournalStats  `json:"journal,omitempty"`
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
 type errorResponse struct {
@@ -138,8 +150,15 @@ type errorResponse struct {
 // mapping.
 func (s *Server) handleSubmit(k *TaskKind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, MaxSpecBytes)
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("%s spec exceeds %d bytes", k.Name, MaxSpecBytes))
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("reading %s spec: %w", k.Name, err))
 			return
 		}
@@ -160,13 +179,15 @@ func (s *Server) handleSubmit(k *TaskKind) http.HandlerFunc {
 
 // writeSubmitOutcome maps admission results identically for every
 // submit endpoint: 202 on success; queue full -> 429 with a Retry-After
-// hint; draining -> 503; anything else (validation) -> 400.
+// hint; draining or journal failure -> 503; anything else (validation)
+// -> 400. A journal write failure is 503, not 400: the spec was fine,
+// the service could not durably accept it — a retryable condition.
 func writeSubmitOutcome(w http.ResponseWriter, view TaskView, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrJournal):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -250,7 +271,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	tasks := s.d.TaskCounts()
 	queue := s.d.QueueStats()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:       status,
 		Workers:      s.d.Workers(),
 		QueueDepth:   queue.Depth,
@@ -260,7 +281,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Explorations: tasks[ExplorationKind.Plural],
 		Reports:      tasks[ReportKind.Plural],
 		Cache:        s.d.Cache().Stats(),
-	})
+	}
+	if js, ok := s.d.JournalStats(); ok {
+		resp.Journal = &js
+		resp.Recovery = s.d.Recovery()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeJSON encodes v with a trailing newline. Marshal happens before

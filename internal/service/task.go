@@ -138,6 +138,12 @@ type TaskKind struct {
 	Priority PriorityClass
 	// Decode strictly parses a wire spec (unknown fields rejected).
 	Decode func(b []byte) (TaskSpec, error)
+	// Encode marshals a decoded spec back to its wire JSON — the inverse
+	// of Decode for every spec Decode accepts. The task journal stores
+	// Encode's output so a replayed submission round-trips through the
+	// same strict Decode the HTTP surface uses; it is only invoked when
+	// journaling is enabled.
+	Encode func(spec TaskSpec) ([]byte, error)
 	// Wire shapes a finished task's result for the results endpoint. It
 	// must be a pure function of (hash, result) so equal specs serve
 	// byte-identical responses.
