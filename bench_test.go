@@ -459,7 +459,34 @@ func BenchmarkReportThroughput(b *testing.B) {
 // priority classes exist for. Everything runs cold (distinct seeds per
 // op), so ns/op tracks real mixed-queue throughput.
 func BenchmarkMixedWorkloadThroughput(b *testing.B) {
-	d, err := service.NewDispatcher(service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+	benchMixedWorkload(b, service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+}
+
+// BenchmarkInstrumentedMixedWorkload is the observability-cost bench: the
+// identical mixed workload with the full metrics and timeline layer on
+// ("instrumented") and with the gated event counters and latency
+// histograms compiled out to nil handles ("baseline", Uninstrumented).
+// The two ns/op must stay within a few percent of each other — the
+// observability layer's whole design constraint.
+func BenchmarkInstrumentedMixedWorkload(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		benchMixedWorkload(b, service.Config{
+			QueueSize: 256, CacheEntries: 1 << 16, Uninstrumented: true,
+		})
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		benchMixedWorkload(b, service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+	})
+}
+
+// benchMixedWorkload drives the mixed-workload op loop shared by the
+// throughput and instrumentation-cost benches: per op, one bulk report
+// is already running, a second bulk report and four interactive jobs
+// queue behind it, and every interactive job must dispatch ahead of the
+// queued bulk report (asserted). Cold seeds per op, so ns/op tracks real
+// mixed-queue throughput.
+func benchMixedWorkload(b *testing.B, cfg service.Config) {
+	d, err := service.NewDispatcher(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

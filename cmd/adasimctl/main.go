@@ -17,7 +17,7 @@
 //	report-status    show a report's status and progress
 //	report-results   fetch a finished report's artifacts
 //	task             uniform verbs over any task kind:
-//	                   task status|results|wait|cancel -id <task-id>
+//	                   task status|results|wait|cancel|watch -id <task-id>
 //	scenarios        list the scenario catalogue (including families)
 //	health           show daemon health, queue, pool, and cache counters
 //
@@ -33,6 +33,7 @@
 //	adasimctl explore -family cut-in -method lhs -samples 32 -axes "trigger_gap=5:60" -wait
 //	adasimctl report -artifacts table6,fig6 -reps 2 -wait
 //	adasimctl task status -id r000002-5e6f7a8b
+//	adasimctl task watch -id r000002-5e6f7a8b
 //	adasimctl task cancel -id r000002-5e6f7a8b
 package main
 
@@ -44,6 +45,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"adasim/internal/client"
 	"adasim/internal/explore"
@@ -63,7 +65,7 @@ func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|task|scenarios|health> [flags]")
-		fmt.Fprintln(os.Stderr, "       adasimctl task <status|results|wait|cancel> -id <task-id>")
+		fmt.Fprintln(os.Stderr, "       adasimctl task <status|results|wait|cancel|watch> -id <task-id>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -270,7 +272,7 @@ func submitAndMaybeWait(c *client.Client, kind string, spec any, priority string
 // status/results/wait/cancel flow for every kind, addressed by task ID.
 func cmdTask(c *client.Client, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: adasimctl task <status|results|wait|cancel> -id <task-id>")
+		return fmt.Errorf("usage: adasimctl task <status|results|wait|cancel|watch> -id <task-id>")
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
@@ -298,8 +300,20 @@ func cmdTask(c *client.Client, args []string) error {
 			return err
 		}
 		return printJSON(view)
+	case "watch":
+		id, err := parseID(rest)
+		if err != nil {
+			return err
+		}
+		return c.WatchTask(id, func(ev service.TimelineEvent) {
+			if ev.Detail != "" {
+				fmt.Printf("%s  %-16s %s\n", ev.TS.Format(time.RFC3339), ev.Event, ev.Detail)
+				return
+			}
+			fmt.Printf("%s  %s\n", ev.TS.Format(time.RFC3339), ev.Event)
+		})
 	default:
-		return fmt.Errorf("unknown task verb %q (want status|results|wait|cancel)", sub)
+		return fmt.Errorf("unknown task verb %q (want status|results|wait|cancel|watch)", sub)
 	}
 }
 

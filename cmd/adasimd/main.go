@@ -9,12 +9,23 @@
 //	adasimd -addr :9090 -workers 8 -queue 128
 //	adasimd -cache-dir /var/cache/adasim     # persistent result store
 //	adasimd -journal-dir /var/lib/adasim     # crash-safe task journal
+//	adasimd -log-format json -log-level debug
+//	adasimd -pprof                           # /debug/pprof/* profiling
 //
 // With -journal-dir every accepted task is appended to a write-ahead
 // journal before it is queued, and on boot the daemon replays the
 // journal: tasks that never reached a terminal state are re-submitted
 // in their original order (runs already in the result cache are served
 // from it, so recovery is mostly cache hits).
+//
+// Observability: Prometheus-format metrics at GET /metrics (queue,
+// cache, journal, and per-route HTTP series), per-task lifecycle
+// timelines at GET /v1/tasks/{id}/events (JSON, or a live SSE stream
+// with Accept: text/event-stream), structured logs on stderr
+// (-log-format text|json, -log-level), and -pprof for the standard
+// net/http/pprof handlers. Note -write-timeout bounds an SSE stream's
+// lifetime like any other response; raise it to follow very long
+// tasks.
 //
 // SIGINT/SIGTERM triggers a graceful drain: submissions are rejected
 // with 503, queued and running tasks finish (canceled ones are
@@ -26,8 +37,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,10 +67,18 @@ func run() error {
 		journalDir   = flag.String("journal-dir", "", "optional write-ahead task journal directory (enables restart recovery)")
 		runRetries   = flag.Int("run-retries", 0, "extra attempts per failing run (0 = default 2, negative = disabled)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
-		writeTimeout = flag.Duration("write-timeout", 5*time.Minute, "max time to write a response")
+		writeTimeout = flag.Duration("write-timeout", 5*time.Minute, "max time to write a response (bounds SSE streams too)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 
 	d, err := service.NewDispatcher(service.Config{
 		Workers:      *workers,
@@ -68,22 +88,30 @@ func run() error {
 		AgeAfter:     *ageAfter,
 		JournalDir:   *journalDir,
 		RunRetries:   *runRetries,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
 	}
 	if rec := d.Recovery(); rec != nil {
-		log.Printf("adasimd: journal replay: %d recovered, %d already terminal, %d failed replays, %d corrupt records",
-			rec.RecoveredTasks, rec.TerminalTasks, rec.FailedReplays, rec.CorruptRecords)
+		logger.Info("journal replay complete",
+			"recovered", rec.RecoveredTasks,
+			"terminal", rec.TerminalTasks,
+			"failed_replays", rec.FailedReplays,
+			"corrupt_records", rec.CorruptRecords)
 	}
 
+	var handler http.Handler = service.NewServer(d)
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: service.NewServer(d),
+		Handler: handler,
 		// Server-side timeouts bound what a slow or stuck client can pin:
 		// a connection trickling its request, a response nobody reads, an
-		// idle keep-alive. Write generously covers long task-wait polls
-		// and multi-MB result bodies.
+		// idle keep-alive. Write generously covers long task-wait polls,
+		// multi-MB result bodies, and SSE event streams.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -91,8 +119,9 @@ func run() error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("adasimd: listening on %s (workers=%d queue=%d cache=%d dir=%q journal=%q)",
-			*addr, d.Workers(), *queueSize, *cacheEntries, *cacheDir, *journalDir)
+		logger.Info("listening", "addr", *addr, "workers", d.Workers(),
+			"queue", *queueSize, "cache_entries", *cacheEntries,
+			"cache_dir", *cacheDir, "journal_dir", *journalDir, "pprof", *pprofOn)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -106,7 +135,7 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("adasimd: draining (timeout %s)", *drainTimeout)
+	logger.Info("draining", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := d.Drain(drainCtx); err != nil {
@@ -117,6 +146,38 @@ func run() error {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return err
 	}
-	log.Printf("adasimd: drained, bye")
+	logger.Info("drained, bye")
 	return nil
+}
+
+// newLogger builds the daemon's stderr slog logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+}
+
+// withPprof mounts the standard net/http/pprof handlers under
+// /debug/pprof/ in front of the service routes. Registration is
+// explicit (not the package's DefaultServeMux side effect), so
+// profiling is exposed only when -pprof asks for it.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }

@@ -10,6 +10,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -225,6 +226,78 @@ func (c *Client) Task(id string) (service.TaskView, error) {
 // format, byte-exact.
 func (c *Client) TaskResults(id string) ([]byte, error) {
 	return c.GetRaw("/v1/tasks/" + id + "/results")
+}
+
+// TaskEvents fetches a task's lifecycle timeline so far (the ordered
+// submitted → queued → started → progress → terminal event records).
+func (c *Client) TaskEvents(id string) ([]service.TimelineEvent, error) {
+	var resp service.TaskEventsResponse
+	err := c.GetJSON("/v1/tasks/"+id+"/events", &resp)
+	return resp.Events, err
+}
+
+// WatchTask follows a task's live SSE event stream, calling fn for
+// each timeline event (the already-recorded ones first, then live
+// ones), and returns when the server closes the stream — which it does
+// right after the terminal event. Unlike the polling Wait helpers it
+// holds one connection open for the task's whole life. The stream is
+// not retried: events could be missed while reconnecting, and the
+// caller can fall back to TaskEvents/WaitTask.
+func (c *Client) WatchTask(id string, fn func(service.TimelineEvent)) error {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/tasks/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b, _ := io.ReadAll(resp.Body)
+		return statusError(resp.Status, b)
+	}
+	return readSSE(resp.Body, fn)
+}
+
+// readSSE parses an SSE stream, decoding each frame's data lines as a
+// TimelineEvent. Comment lines and fields other than data (the server
+// also sends the event name) are skipped, per the SSE contract.
+func readSSE(r io.Reader, fn func(service.TimelineEvent)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data []byte
+	flush := func() error {
+		if len(data) == 0 {
+			return nil
+		}
+		var ev service.TimelineEvent
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return fmt.Errorf("client: bad event payload: %w", err)
+		}
+		data = data[:0]
+		fn(ev)
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // blank line dispatches the pending frame
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "data:"):
+			if len(data) > 0 {
+				data = append(data, '\n') // multi-line data joins with \n
+			}
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
 }
 
 // CancelTask requests cooperative cancellation of a task.

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/scenario"
+	"adasim/internal/service"
+)
+
+func eventsJobSpec() service.JobSpec {
+	return service.JobSpec{
+		Scenarios:     []scenario.ID{scenario.S1},
+		Gaps:          []float64{60},
+		Reps:          2,
+		Steps:         300,
+		BaseSeed:      11,
+		Fault:         fi.DefaultParams(fi.TargetRelDistance),
+		Interventions: core.InterventionSet{Driver: true},
+	}
+}
+
+// TestEndToEndWatchTask follows a real SSE stream over TCP through the
+// client: WatchTask must deliver the lifecycle events in order and
+// return (nil) when the server closes the stream after the terminal
+// event.
+func TestEndToEndWatchTask(t *testing.T) {
+	c, _ := bootServer(t)
+	view, err := c.SubmitTask("jobs", eventsJobSpec(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []service.TimelineEvent
+	if err := c.WatchTask(view.ID, func(ev service.TimelineEvent) {
+		events = append(events, ev)
+	}); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("watch delivered %d events: %+v", len(events), events)
+	}
+	if events[0].Event != service.EventSubmitted {
+		t.Errorf("first event = %q, want submitted", events[0].Event)
+	}
+	if last := events[len(events)-1].Event; last != service.EventDone {
+		t.Errorf("last event = %q, want done", last)
+	}
+
+	// After the stream ends the task is terminal, so the JSON timeline
+	// is the full story and must end on the same terminal event.
+	recorded, err := c.TaskEvents(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 || recorded[len(recorded)-1].Event != service.EventDone {
+		t.Errorf("recorded timeline = %+v, want terminal done", recorded)
+	}
+
+	if err := c.WatchTask("j999999-deadbeef", func(service.TimelineEvent) {}); err == nil {
+		t.Error("watching an unknown task did not error")
+	}
+	if _, err := c.TaskEvents("j999999-deadbeef"); err == nil {
+		t.Error("events of an unknown task did not error")
+	}
+}
+
+// TestReadSSE pins the frame parser against hand-written streams:
+// multi-line data joins with \n, comments and non-data fields are
+// skipped, and a trailing unterminated frame still dispatches.
+func TestReadSSE(t *testing.T) {
+	stream := ": comment\n" +
+		"event: submitted\n" +
+		"data: {\"ts\":\"2026-01-02T03:04:05Z\",\n" +
+		"data:  \"event\":\"submitted\"}\n" +
+		"\n" +
+		"event: done\n" +
+		"data: {\"ts\":\"2026-01-02T03:04:06Z\",\"event\":\"done\",\"detail\":\"2 runs\"}\n" // no trailing blank
+	var got []service.TimelineEvent
+	if err := readSSE(strings.NewReader(stream), func(ev service.TimelineEvent) {
+		got = append(got, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Event != "submitted" || got[1].Event != "done" || got[1].Detail != "2 runs" {
+		t.Fatalf("parsed %+v", got)
+	}
+	if err := readSSE(strings.NewReader("data: not-json\n\n"), func(service.TimelineEvent) {}); err == nil {
+		t.Error("bad payload did not error")
+	}
+}

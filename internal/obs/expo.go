@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// contentType is the Prometheus text exposition format version this
+// package emits.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo writes the full exposition of the registry in Prometheus
+// text format: families sorted by name, series within a family sorted
+// by label values, histograms expanded to cumulative _bucket series
+// plus _sum and _count. The output layout is deterministic so it can
+// be golden-tested; only the sample values vary between scrapes.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	r.mu.Lock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if err := f.write(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		r.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	snap := make([]*series, len(keys))
+	for i, k := range keys {
+		snap[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	if len(snap) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range snap {
+		if err := f.writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		return writeSample(w, f.name, f.labelNames, s.labelValues, "", "", formatUint(s.c.Value()))
+	case kindGauge:
+		return writeSample(w, f.name, f.labelNames, s.labelValues, "", "", strconv.FormatInt(s.g.Value(), 10))
+	default:
+		var cum uint64
+		for i, bound := range s.h.bounds {
+			cum += s.h.BucketCount(i)
+			le := strconv.FormatFloat(bound, 'g', -1, 64)
+			if err := writeSample(w, f.name+"_bucket", f.labelNames, s.labelValues, "le", le, formatUint(cum)); err != nil {
+				return err
+			}
+		}
+		cum += s.h.BucketCount(len(s.h.bounds))
+		if err := writeSample(w, f.name+"_bucket", f.labelNames, s.labelValues, "le", "+Inf", formatUint(cum)); err != nil {
+			return err
+		}
+		if err := writeSample(w, f.name+"_sum", f.labelNames, s.labelValues, "", "", strconv.FormatFloat(s.h.Sum(), 'g', -1, 64)); err != nil {
+			return err
+		}
+		return writeSample(w, f.name+"_count", f.labelNames, s.labelValues, "", "", formatUint(s.h.count.Load()))
+	}
+}
+
+// writeSample emits one `name{labels} value` line. extraName/extraValue
+// append a synthetic label (the histogram "le") after the fixed ones.
+func writeSample(w io.Writer, name string, labelNames, labelValues []string, extraName, extraValue, value string) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		sb.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(ln)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(labelValues[i]))
+			sb.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(extraName)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(extraValue))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,355 @@
+// Package obs is the service's dependency-free observability core: a
+// metrics registry of atomic counters, gauges, and fixed-bucket
+// histograms with zero-allocation hot-path recording, exposed in the
+// Prometheus text format (see expo.go).
+//
+// Design constraints, in order:
+//
+//  1. Recording must be safe from any goroutine and must not allocate:
+//     instrumentation sits on the dispatcher's per-run path and must
+//     never show up in an allocation profile. Counter.Inc, Gauge.Set,
+//     and Histogram.Observe are a handful of atomic operations each.
+//  2. Series are registered up front, at wiring time, with fixed label
+//     values — Registry.Counter/Gauge/Histogram is get-or-create and
+//     takes a lock, so callers hold the returned handle rather than
+//     looking series up per event. This also bounds label cardinality
+//     by construction: a label value that is not known at wiring time
+//     (a task ID, a raw URL path) cannot become a series.
+//  3. Exposition is deterministic: families sort by name, series by
+//     label signature, so the set of emitted lines is a pure function
+//     of what was registered (values aside) and can be golden-tested.
+//
+// Every recording method is a no-op on a nil receiver, so optional
+// instrumentation points can hold nil handles instead of branching.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair of a metric series. Label values are
+// fixed at registration; see the package comment on cardinality.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrement). No-op on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Bucket bounds are
+// upper bounds with Prometheus "le" semantics (an observation equal to
+// a bound lands in that bound's bucket); a +Inf bucket is implicit.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Observe records one value. Zero allocations; no-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketCount returns the count of bucket i (0..len(bounds), the last
+// being +Inf). Non-cumulative; exposition accumulates.
+func (h *Histogram) BucketCount(i int) uint64 { return h.counts[i].Load() }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// ExpBuckets returns n bucket bounds growing geometrically from start
+// by factor — the standard shape for latency histograms. It panics on
+// a non-positive start, a factor <= 1, or n < 1 (wiring-time misuse).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// series is one registered metric instance: its label values plus the
+// value container (exactly one of c/g/h is non-nil, matching the
+// family's kind).
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// family groups the series sharing one metric name: one HELP/TYPE
+// header, one label-name schema, one bucket layout.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	buckets    []float64
+
+	mu     sync.Mutex
+	series map[string]*series // key: label values joined by \xff
+	order  []string           // sorted keys, maintained on insert
+}
+
+// Registry holds metric families and serves their exposition. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted family names, maintained on insert
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or fetches) the counter series with the given
+// name, help, and fixed labels. Calls with the same name must agree on
+// help and label names; label values select the series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge registers (or fetches) the gauge series with the given name,
+// help, and fixed labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram registers (or fetches) the histogram series with the given
+// name, help, bucket upper bounds (strictly ascending; +Inf implicit),
+// and fixed labels. Calls with the same name must agree on buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return r.register(name, help, kindHistogram, buckets, labels).h
+}
+
+// register is the get-or-create path shared by the three metric types.
+// Schema violations panic: registration happens at wiring time, and a
+// name collision across kinds or label schemas is a programming error,
+// not runtime input.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	labelNames := make([]string, len(labels))
+	labelValues := make([]string, len(labels))
+	for i, l := range labels {
+		if !validName(l.Name, true) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l.Name, name))
+		}
+		labelNames[i] = l.Name
+		labelValues[i] = l.Value
+	}
+	if kind == kindHistogram {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %s buckets not strictly ascending", name))
+			}
+		}
+	}
+
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind,
+			labelNames: labelNames, buckets: buckets,
+			series: make(map[string]*series),
+		}
+		r.families[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	r.mu.Unlock()
+
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	if !equalStrings(f.labelNames, labelNames) {
+		panic(fmt.Sprintf("obs: metric %s re-registered with labels %v (was %v)", name, labelNames, f.labelNames))
+	}
+	if kind == kindHistogram && !equalFloats(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s re-registered with different buckets", name))
+	}
+
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: labelValues}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+	}
+	f.series[key] = s
+	i := sort.SearchStrings(f.order, key)
+	f.order = append(f.order, "")
+	copy(f.order[i+1:], f.order[i:])
+	f.order[i] = key
+	return s
+}
+
+// validName checks a metric or label name against the Prometheus
+// grammar ([a-zA-Z_:][a-zA-Z0-9_:]*; labels without the colon).
+func validName(s string, label bool) bool {
+	if s == "" || (label && strings.HasPrefix(s, "__")) {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && !label:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge value = %d, want 4", got)
+	}
+	// Get-or-create: same name+labels returns the same handle.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registering a counter returned a different handle")
+	}
+	if r.Gauge("g", "a gauge") != g {
+		t.Fatal("re-registering a gauge returned a different handle")
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metric handles must read as zero")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the Prometheus "le" semantics: an
+// observation exactly equal to a bound lands in that bound's bucket,
+// anything above the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "bounds", []float64{0.1, 1, 10})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.05, 0}, {0.1, 0}, // le="0.1" is inclusive
+		{0.100001, 1}, {1, 1},
+		{1.5, 2}, {10, 2},
+		{10.5, 3}, {1e9, 3}, // +Inf
+	}
+	for _, tc := range cases {
+		before := make([]uint64, 4)
+		for i := range before {
+			before[i] = h.BucketCount(i)
+		}
+		h.Observe(tc.v)
+		for i := 0; i < 4; i++ {
+			want := before[i]
+			if i == tc.bucket {
+				want++
+			}
+			if got := h.BucketCount(i); got != want {
+				t.Fatalf("Observe(%v): bucket %d count = %d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", got, len(cases))
+	}
+	var wantSum float64
+	for _, tc := range cases {
+		wantSum += tc.v
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-9*wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Sum(); got != goroutines*per*1.5 {
+		t.Fatalf("sum = %v, want %v", got, goroutines*per*1.5)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestZeroAllocRecording proves the hot-path guarantee the dispatcher
+// relies on: recording into any metric type does not allocate.
+func TestZeroAllocRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{0.001, 0.01, 0.1, 1, 10})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.42)
+	}); n != 0 {
+		t.Fatalf("recording allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	mustPanic("kind clash", func() { r.Gauge("ok_total", "") })
+	mustPanic("label schema clash", func() { r.Counter("ok_total", "", L("k", "v")) })
+	mustPanic("bad name", func() { r.Counter("9bad", "") })
+	mustPanic("bad label", func() { r.Counter("l_total", "", L("9bad", "v")) })
+	r.Histogram("h", "", []float64{1, 2})
+	mustPanic("bucket clash", func() { r.Histogram("h", "", []float64{1, 3}) })
+	mustPanic("unsorted buckets", func() { r.Histogram("h2", "", []float64{2, 1}) })
+}
+
+// TestExposition pins the text format: HELP/TYPE headers, sorted
+// families, sorted series, cumulative histogram buckets with +Inf,
+// label escaping.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "counts b", L("kind", "job")).Add(3)
+	r.Counter("b_total", "counts b", L("kind", "report")) // zero-valued but exposed
+	r.Gauge("a_gauge", "gauge a").Set(-2)
+	h := r.Histogram("c_seconds", "hist c", []float64{0.5, 2})
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(99)
+	r.Counter("esc_total", "", L("v", "a\\b\"c\nd")).Inc()
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge gauge a
+# TYPE a_gauge gauge
+a_gauge -2
+# HELP b_total counts b
+# TYPE b_total counter
+b_total{kind="job"} 3
+b_total{kind="report"} 0
+# HELP c_seconds hist c
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.5"} 1
+c_seconds_bucket{le="2"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 100.5
+c_seconds_count 3
+# TYPE esc_total counter
+esc_total{v="a\\b\"c\nd"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1\n") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}

@@ -10,9 +10,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"adasim/internal/metrics"
+	"adasim/internal/obs"
 )
 
 // DiskErrorStats counts disk-store failures by kind. The cache is an
@@ -57,12 +58,12 @@ type ResultCache struct {
 
 	dir string
 
-	hits, misses, diskHits, evictions int64
-
-	// Disk-store error counters are atomic, not mu-guarded: readDisk and
-	// writeDisk deliberately run outside the lock so a slow disk cannot
-	// stall memory hits.
-	diskWriteErrs, diskReadErrs, diskDecodeErrs atomic.Int64
+	// All counters live in the obs registry (see newCacheMetrics): the
+	// same handles feed CacheStats (the /healthz wire format) and the
+	// adasim_cache_* exposition. They are atomic, so the disk-side paths
+	// — which deliberately run outside mu so a slow disk cannot stall
+	// memory hits — record without the lock.
+	met *cacheMetrics
 }
 
 type cacheEntry struct {
@@ -72,8 +73,15 @@ type cacheEntry struct {
 
 // NewResultCache builds a cache holding up to maxEntries outcomes in
 // memory (minimum 1). dir, when non-empty, enables the on-disk store and
-// is created if missing.
+// is created if missing. Counters record into a private registry; the
+// dispatcher builds its cache through newResultCache to share its own.
 func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
+	return newResultCache(maxEntries, dir, nil)
+}
+
+// newResultCache is NewResultCache recording into reg (nil means a
+// private registry).
+func newResultCache(maxEntries int, dir string, reg *obs.Registry) (*ResultCache, error) {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
@@ -82,12 +90,15 @@ func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
 			return nil, fmt.Errorf("service: creating cache dir: %w", err)
 		}
 	}
-	return &ResultCache{
+	c := &ResultCache{
 		max:   maxEntries,
 		ll:    list.New(),
 		items: make(map[string]*list.Element, maxEntries),
 		dir:   dir,
-	}, nil
+		met:   newCacheMetrics(reg),
+	}
+	c.met.maxEntries.Set(int64(maxEntries))
+	return c, nil
 }
 
 // Get returns the outcome stored under key. A memory miss falls through
@@ -98,24 +109,22 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		out := el.Value.(*cacheEntry).out
-		c.hits++
 		c.mu.Unlock()
+		c.met.hits.Inc()
 		return out, true
 	}
 	c.mu.Unlock()
 
 	if out, ok := c.readDisk(key); ok {
 		c.mu.Lock()
-		c.hits++
-		c.diskHits++
 		c.insertLocked(key, out)
 		c.mu.Unlock()
+		c.met.hits.Inc()
+		c.met.diskHits.Inc()
 		return out, true
 	}
 
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+	c.met.misses.Inc()
 	return metrics.Outcome{}, false
 }
 
@@ -142,25 +151,25 @@ func (c *ResultCache) insertLocked(key string, out metrics.Outcome) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.met.evictions.Inc()
 	}
+	c.met.entries.Set(int64(c.ll.Len()))
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters — the same registry series /metrics
+// exposes, so the two surfaces cannot disagree.
 func (c *ResultCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   c.ll.Len(),
-		MaxSize:   c.max,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		DiskHits:  c.diskHits,
-		Evictions: c.evictions,
+		Entries:   int(c.met.entries.Value()),
+		MaxSize:   int(c.met.maxEntries.Value()),
+		Hits:      int64(c.met.hits.Value()),
+		Misses:    int64(c.met.misses.Value()),
+		DiskHits:  int64(c.met.diskHits.Value()),
+		Evictions: int64(c.met.evictions.Value()),
 		DiskErrors: DiskErrorStats{
-			Write:  c.diskWriteErrs.Load(),
-			Read:   c.diskReadErrs.Load(),
-			Decode: c.diskDecodeErrs.Load(),
+			Write:  int64(c.met.errWrite.Value()),
+			Read:   int64(c.met.errRead.Value()),
+			Decode: int64(c.met.errDecode.Value()),
 		},
 	}
 }
@@ -184,18 +193,20 @@ func (c *ResultCache) readDisk(key string) (metrics.Outcome, bool) {
 	if !ok {
 		return metrics.Outcome{}, false
 	}
+	start := time.Now()
 	b, err := os.ReadFile(path)
+	c.met.diskRead.Observe(time.Since(start).Seconds())
 	if err != nil {
 		// Absence is the normal miss; anything else is a real read
 		// failure worth counting.
 		if !errors.Is(err, fs.ErrNotExist) {
-			c.diskReadErrs.Add(1)
+			c.met.errRead.Inc()
 		}
 		return metrics.Outcome{}, false
 	}
 	var out metrics.Outcome
 	if err := json.Unmarshal(b, &out); err != nil {
-		c.diskDecodeErrs.Add(1)
+		c.met.errDecode.Inc()
 		c.quarantine(path)
 		return metrics.Outcome{}, false
 	}
@@ -217,30 +228,30 @@ func (c *ResultCache) writeDisk(key string, out metrics.Outcome) {
 	}
 	b, err := json.Marshal(out)
 	if err != nil {
-		c.diskWriteErrs.Add(1)
+		c.met.errWrite.Inc()
 		return
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.diskWriteErrs.Add(1)
+		c.met.errWrite.Inc()
 		return
 	}
 	// Write-then-rename keeps readers from observing partial files.
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key)
 	if err != nil {
-		c.diskWriteErrs.Add(1)
+		c.met.errWrite.Inc()
 		return
 	}
 	if _, err := tmp.Write(b); err == nil {
 		err = tmp.Close()
 		if err == nil {
 			if err := os.Rename(tmp.Name(), path); err != nil {
-				c.diskWriteErrs.Add(1)
+				c.met.errWrite.Inc()
 			}
 			return
 		}
 	} else {
 		tmp.Close()
 	}
-	c.diskWriteErrs.Add(1)
+	c.met.errWrite.Inc()
 	_ = os.Remove(tmp.Name())
 }

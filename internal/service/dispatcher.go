@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"adasim/internal/experiments"
 	"adasim/internal/explore"
 	"adasim/internal/metrics"
+	"adasim/internal/obs"
 	"adasim/internal/report"
 )
 
@@ -94,6 +96,20 @@ type Config struct {
 	// the owning task. Panics are never retried. Zero means 2; negative
 	// disables retries.
 	RunRetries int
+	// Metrics is the observability registry every layer records into
+	// (queue, cache, journal, HTTP); the daemon serves it at /metrics.
+	// Nil means a private registry — everything still records, it is
+	// just not shared with anything else.
+	Metrics *obs.Registry
+	// Logger receives the dispatcher's structured log records. Nil
+	// means discard.
+	Logger *slog.Logger
+	// Uninstrumented disables the gated metric group (the per-event
+	// counters and latency histograms that exist purely for /metrics) —
+	// the always-on gauges /healthz reads stay live. It exists for the
+	// instrumentation-overhead benchmark baseline; production callers
+	// leave it false.
+	Uninstrumented bool
 }
 
 func (c Config) normalized() Config {
@@ -119,6 +135,12 @@ func (c Config) normalized() Config {
 		c.RunRetries = 2
 	} else if c.RunRetries < 0 {
 		c.RunRetries = 0
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -146,6 +168,8 @@ func (c Config) retentionCap(class RetentionClass) int {
 type Dispatcher struct {
 	cfg   Config
 	cache *ResultCache
+	m     *dispatcherMetrics
+	log   *slog.Logger
 
 	journal  *Journal
 	recovery *RecoveryStats
@@ -200,7 +224,7 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) { return newDispatcher(cfg, 
 // tests.
 func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*core.Result, error)) (*Dispatcher, error) {
 	cfg = cfg.normalized()
-	cache, err := NewResultCache(cfg.CacheEntries, cfg.CacheDir)
+	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +234,8 @@ func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*c
 	d := &Dispatcher{
 		cfg:       cfg,
 		cache:     cache,
+		m:         newDispatcherMetrics(cfg.Metrics, cfg.Uninstrumented),
+		log:       cfg.Logger,
 		runFn:     runFn,
 		tasks:     make(map[string]*task),
 		taskCh:    make(chan runTask),
@@ -217,7 +243,7 @@ func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*c
 	}
 	d.cond = sync.NewCond(&d.mu)
 	if cfg.JournalDir != "" {
-		j, recs, stats, err := openJournal(cfg.JournalDir, 0)
+		j, recs, stats, err := openJournal(cfg.JournalDir, 0, cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +287,13 @@ func (d *Dispatcher) recoverTasks(recs []journalRecord, stats ReplayStats) {
 		}
 	}
 	d.recovery = summary
+	registerRecoveryMetrics(d.cfg.Metrics, summary)
+	d.log.Info("journal replayed",
+		"segments", summary.Segments,
+		"recovered", summary.RecoveredTasks,
+		"terminal", summary.TerminalTasks,
+		"failed_replays", summary.FailedReplays,
+		"corrupt_records", summary.CorruptRecords)
 }
 
 // recoverOne rebuilds one journaled task through the same strict
@@ -292,14 +325,31 @@ func (d *Dispatcher) recoverOne(kind *TaskKind, rec journalRecord) error {
 		priority:    priority,
 		status:      StatusQueued,
 		submittedAt: rec.At,
-		done:        make(chan struct{}),
+		// The pre-crash wait is unknowable from a monotonic clock;
+		// measure from the recovery moment.
+		submittedMono:  time.Now(),
+		progressStride: progressStrideFor(prep.Total),
+		done:           make(chan struct{}),
 	}
 	d.mu.Lock()
+	d.appendEventLocked(t, EventSubmitted, fmt.Sprintf("%s %s, spec %s (recovered from journal)",
+		kind.Name, queueClass(priority), shortHash(prep.Hash)))
 	d.queue.push(t)
+	d.m.queueAdd(t, 1)
+	d.m.submitted[kind.Plural].Inc()
+	d.appendEventLocked(t, EventQueued, fmt.Sprintf("queue depth %d", d.queue.depth()))
 	d.tasks[t.id] = t
 	d.order = append(d.order, t.id)
 	d.mu.Unlock()
 	return nil
+}
+
+// shortHash abbreviates a spec hash for log and timeline detail text.
+func shortHash(h string) string {
+	if len(h) > 8 {
+		return h[:8]
+	}
+	return h
 }
 
 // recordReplayFailure retains a terminal failed record for a journaled
@@ -319,10 +369,14 @@ func (d *Dispatcher) recordReplayFailure(kind *TaskKind, rec journalRecord, caus
 	}
 	close(t.done)
 	d.mu.Lock()
+	d.appendEventLocked(t, EventSubmitted, fmt.Sprintf("%s (recovered from journal)", kind.Name))
+	d.appendEventLocked(t, EventFailed, t.errMsg)
+	d.m.finished[kind.Plural][StatusFailed].Inc()
 	d.tasks[t.id] = t
 	d.order = append(d.order, t.id)
 	d.pruneLocked()
 	d.mu.Unlock()
+	d.log.Warn("journal replay failed for task", "task", t.id, "err", cause)
 }
 
 // Recovery returns the boot-time journal replay summary, or nil when
@@ -352,26 +406,33 @@ func (d *Dispatcher) QueueDepth() int {
 }
 
 // QueueStats snapshots the queue backlog per kind and priority class.
+// It reads the obs registry's backlog gauges — the same series /metrics
+// serves — so /healthz and a scrape can never disagree; the gauges move
+// under d.mu at every queue transition, and holding it here makes the
+// snapshot consistent with itself.
 func (d *Dispatcher) QueueStats() QueueStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	qs := QueueStats{
-		Depth:   d.queue.depth(),
 		ByKind:  make(map[string]int, len(taskKinds)),
-		ByClass: map[string]int{string(PriorityInteractive): len(d.queue.interactive), string(PriorityBulk): len(d.queue.bulk)},
+		ByClass: make(map[string]int, len(priorityClasses)),
 	}
-	// Keyed by the plural route segment, consistent with TaskCounts and
-	// the /healthz tasks map.
-	for _, k := range taskKinds {
-		qs.ByKind[k.Plural] = 0
+	// Keyed by the plural route segment, consistent with TaskCounts, the
+	// /healthz tasks map, and the metric "kind" label.
+	for plural, g := range d.m.queueKind {
+		qs.ByKind[plural] = int(g.Value())
 	}
-	for _, class := range [][]*task{d.queue.interactive, d.queue.bulk} {
-		for _, t := range class {
-			qs.ByKind[t.kind.Plural]++
-		}
+	for class, g := range d.m.queueClass {
+		n := int(g.Value())
+		qs.ByClass[string(class)] = n
+		qs.Depth += n
 	}
 	return qs
 }
+
+// Registry exposes the dispatcher's metrics registry (served at
+// /metrics).
+func (d *Dispatcher) Registry() *obs.Registry { return d.m.reg }
 
 // Draining reports whether the dispatcher has stopped accepting tasks.
 func (d *Dispatcher) Draining() bool {
@@ -418,15 +479,18 @@ func (d *Dispatcher) SubmitTask(kind *TaskKind, spec TaskSpec, priority Priority
 		return TaskView{}, ErrQueueFull
 	}
 	d.seq++
+	now := time.Now()
 	t := &task{
-		id:          fmt.Sprintf("%s%06d-%s", kind.Prefix, d.seq, prep.Hash[:8]),
-		kind:        kind,
-		hash:        prep.Hash,
-		prep:        prep,
-		priority:    priority,
-		status:      StatusQueued,
-		submittedAt: time.Now().UTC(),
-		done:        make(chan struct{}),
+		id:             fmt.Sprintf("%s%06d-%s", kind.Prefix, d.seq, prep.Hash[:8]),
+		kind:           kind,
+		hash:           prep.Hash,
+		prep:           prep,
+		priority:       priority,
+		status:         StatusQueued,
+		submittedAt:    now.UTC(),
+		submittedMono:  now,
+		progressStride: progressStrideFor(prep.Total),
+		done:           make(chan struct{}),
 	}
 	if d.journal != nil && !d.halted.Load() {
 		if err := d.journal.Append(journalRecord{
@@ -437,10 +501,18 @@ func (d *Dispatcher) SubmitTask(kind *TaskKind, spec TaskSpec, priority Priority
 			return TaskView{}, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
+	d.appendEventLocked(t, EventSubmitted, fmt.Sprintf("%s %s, spec %s",
+		kind.Name, queueClass(priority), shortHash(prep.Hash)))
 	d.queue.push(t)
+	d.m.queueAdd(t, 1)
+	d.m.submitted[kind.Plural].Inc()
+	d.appendEventLocked(t, EventQueued, fmt.Sprintf("queue depth %d", d.queue.depth()))
 	d.tasks[t.id] = t
 	d.order = append(d.order, t.id)
 	d.cond.Signal()
+	d.log.Debug("task submitted",
+		"task", t.id, "kind", kind.Name, "priority", string(queueClass(priority)),
+		"spec", shortHash(prep.Hash), "queue_depth", d.queue.depth())
 	return d.viewLocked(t), nil
 }
 
@@ -532,16 +604,31 @@ func (d *Dispatcher) cancelTask(id string, kind *TaskKind) (TaskView, error) {
 	switch t.status {
 	case StatusQueued:
 		d.queue.remove(t)
+		d.m.queueAdd(t, -1)
+		d.m.cancelQueued.Inc()
 		t.cancel.Store(true)
-		now := time.Now().UTC()
+		mono := time.Now()
+		now := mono.UTC()
 		t.finishedAt = &now
+		t.finishedMono = mono
 		t.status = StatusCanceled
 		t.errMsg = "canceled while queued"
 		t.prep.Run = nil // release the plan; it will never execute
 		close(t.done)
+		d.m.finished[t.kind.Plural][StatusCanceled].Inc()
+		d.appendEventLocked(t, EventCanceled, "canceled while queued")
+		d.closeSubsLocked(t)
 		d.journalTerminal(t, "")
 		d.pruneLocked()
+		d.log.Info("task canceled while queued", "task", t.id, "kind", t.kind.Name)
 	case StatusRunning:
+		// Idempotent: only the first request counts and leaves a
+		// timeline entry; the task honors it between runs.
+		if !t.cancel.Load() {
+			d.m.cancelRunning.Inc()
+			d.appendEventLocked(t, EventCancelRequested, "stopping between runs")
+			d.log.Info("task cancellation requested", "task", t.id, "kind", t.kind.Name)
+		}
 		t.cancel.Store(true)
 	default:
 		return d.viewLocked(t), ErrTaskTerminal
@@ -608,7 +695,7 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 }
 
 func (d *Dispatcher) viewLocked(t *task) TaskView {
-	return TaskView{
+	v := TaskView{
 		ID:              t.id,
 		Kind:            t.kind.Name,
 		SpecHash:        t.hash,
@@ -623,6 +710,28 @@ func (d *Dispatcher) viewLocked(t *task) TaskView {
 		StartedAt:       t.startedAt,
 		FinishedAt:      t.finishedAt,
 	}
+	// Monotonic durations, live for non-terminal tasks. A task that
+	// never started (canceled while queued) reports its whole life as
+	// queue wait; replay-failure records have no monotonic anchor and
+	// report nothing.
+	if !t.submittedMono.IsZero() {
+		if t.startedMono.IsZero() {
+			v.QueueWaitMillis = monoMillis(t.submittedMono, t.finishedMono)
+		} else {
+			v.QueueWaitMillis = monoMillis(t.submittedMono, t.startedMono)
+			v.RunMillis = monoMillis(t.startedMono, t.finishedMono)
+		}
+	}
+	return v
+}
+
+// monoMillis is the duration from a monotonic start to a monotonic end
+// (now when end is zero), in milliseconds at microsecond resolution.
+func monoMillis(start, end time.Time) float64 {
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return float64(end.Sub(start).Microseconds()) / 1e3
 }
 
 // scheduler executes queued tasks one at a time in priority order (FIFO
@@ -640,11 +749,22 @@ func (d *Dispatcher) scheduler() {
 			d.mu.Unlock()
 			return // draining and drained
 		}
-		t := d.queue.pop(d.cfg.AgeAfter)
-		now := time.Now().UTC()
+		t, promoted := d.queue.pop(d.cfg.AgeAfter)
+		d.m.queueAdd(t, -1)
+		if promoted {
+			d.m.agingPromotions.Inc()
+		}
+		mono := time.Now()
+		now := mono.UTC()
 		t.status = StatusRunning
 		t.startedAt = &now
+		t.startedMono = mono
+		wait := mono.Sub(t.submittedMono)
+		d.m.queueWait[t.kind.Plural][queueClass(t.priority)].Observe(wait.Seconds())
+		d.appendEventLocked(t, EventStarted, fmt.Sprintf("queue wait %s", wait.Round(time.Microsecond)))
 		d.mu.Unlock()
+		d.log.Info("task started", "task", t.id, "kind", t.kind.Name,
+			"priority", string(queueClass(t.priority)), "queue_wait", wait, "aged", promoted)
 		d.executeTask(t)
 	}
 }
@@ -673,6 +793,13 @@ func (d *Dispatcher) executeTask(t *task) {
 			if cacheHits > t.cacheHits {
 				t.cacheHits = cacheHits
 			}
+			// Timeline progress at stride boundaries (~16 events per
+			// sized task), so a watcher sees motion without an event per
+			// run.
+			if t.completed >= t.nextProgress {
+				d.appendEventLocked(t, EventProgress, progressDetail(t.completed, t.prep.Total, t.cacheHits))
+				t.nextProgress = t.completed + t.progressStride
+			}
 			d.mu.Unlock()
 		},
 	}
@@ -685,32 +812,57 @@ func (d *Dispatcher) executeTask(t *task) {
 		resultHash = wireHash(t.kind, t.hash, result)
 	}
 
-	end := time.Now().UTC()
+	endMono := time.Now()
+	end := endMono.UTC()
+	ran := endMono.Sub(t.startedMono)
 	d.mu.Lock()
 	t.finishedAt = &end
+	t.finishedMono = endMono
 	switch {
 	case errors.Is(err, ErrCanceled) || t.cancel.Load():
 		// Cancellation wins even over a completed Run: the contract is
 		// that a canceled task never publishes results.
 		t.status = StatusCanceled
 		t.errMsg = ErrCanceled.Error()
+		d.appendEventLocked(t, EventCanceled, fmt.Sprintf("canceled after %d runs", t.completed))
 	case err != nil:
 		t.status = StatusFailed
 		t.errMsg = err.Error()
+		d.appendEventLocked(t, EventFailed, t.errMsg)
 	default:
 		t.status = StatusDone
 		t.completed = stats.Completed
 		t.cacheHits = stats.CacheHits
 		t.result = result
+		d.appendEventLocked(t, EventDone, fmt.Sprintf("%d runs, %d cache hits, ran %s",
+			t.completed, t.cacheHits, ran.Round(time.Microsecond)))
 	}
+	d.m.finished[t.kind.Plural][t.status].Inc()
+	d.m.taskDur[t.kind.Plural].Observe(ran.Seconds())
+	d.closeSubsLocked(t)
 	// Terminal records only serve views and results: drop the Run
 	// closure so a retained record costs its result, not its expanded
 	// plan (a 10k-run job's plan is megabytes of resolved options).
 	t.prep.Run = nil
 	d.journalTerminal(t, resultHash)
 	d.pruneLocked()
+	status, completed, cacheHits, errMsg := t.status, t.completed, t.cacheHits, t.errMsg
 	d.mu.Unlock()
 	close(t.done)
+	if status == StatusFailed {
+		d.log.Warn("task failed", "task", t.id, "kind", t.kind.Name, "ran", ran, "err", errMsg)
+	} else {
+		d.log.Info("task finished", "task", t.id, "kind", t.kind.Name,
+			"status", string(status), "runs", completed, "cache_hits", cacheHits, "ran", ran)
+	}
+}
+
+// progressDetail renders one progress event's detail line.
+func progressDetail(completed, total, cacheHits int) string {
+	if total > 0 {
+		return fmt.Sprintf("%d/%d runs, %d cache hits", completed, total, cacheHits)
+	}
+	return fmt.Sprintf("%d runs, %d cache hits", completed, cacheHits)
 }
 
 // safeRun executes the task's kind-level Run with panic isolation: a
@@ -721,6 +873,8 @@ func (d *Dispatcher) safeRun(t *task, env TaskEnv) (result any, stats TaskStats,
 		if p := recover(); p != nil {
 			result, stats = nil, TaskStats{}
 			err = fmt.Errorf("%w: %v\n%s", ErrTaskPanic, p, debug.Stack())
+			d.m.taskPanics.Inc()
+			d.log.Error("task panicked", "task", t.id, "kind", t.kind.Name, "panic", fmt.Sprint(p))
 		}
 	}()
 	return t.prep.Run(env)
@@ -831,7 +985,24 @@ func (d *Dispatcher) worker() {
 	defer d.workerWG.Done()
 	var r experiments.Runner
 	for t := range d.taskCh {
+		// time.Now is only paid when the run-duration histogram exists
+		// (it is nil under Config.Uninstrumented).
+		var start time.Time
+		if d.m.runDur != nil {
+			start = time.Now()
+		}
 		res, err := d.runWithRetry(&r, t.run.Opts)
+		if d.m.runDur != nil {
+			d.m.runDur.Observe(time.Since(start).Seconds())
+		}
+		switch {
+		case err == nil:
+			d.m.runsOK.Inc()
+		case errors.Is(err, ErrRunPanic):
+			d.m.runsPanic.Inc()
+		default:
+			d.m.runsFailed.Inc()
+		}
 		if err != nil {
 			*t.err = fmt.Errorf("run %v/%v/%d: %w",
 				t.run.Key.Scenario, t.run.Key.Gap, t.run.Key.Rep, err)
@@ -860,6 +1031,7 @@ func (d *Dispatcher) runWithRetry(r *experiments.Runner, opts core.Options) (*co
 			}
 			return nil, err
 		}
+		d.m.runRetries.Inc()
 		time.Sleep(backoff)
 		backoff *= 2
 		if backoff > runRetryMaxBackoff {

@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"adasim/internal/obs"
 )
 
 // Journal ops. Submit is the only op carrying a spec; done/failed/
@@ -115,8 +117,11 @@ type Journal struct {
 	// persists it as a seq marker so the floor survives history deletion.
 	maxSeq int
 
-	appends, appendErrors, compactions int64
-	closed                             bool
+	// Counters live in the obs registry (see newJournalMetrics): one
+	// source of truth behind JournalStats and the adasim_journal_*
+	// series, including the append+fsync latency histogram.
+	met    *journalMetrics
+	closed bool
 }
 
 // journalMaxSegmentBytes bounds the active segment before compaction
@@ -130,8 +135,8 @@ const journalSegPattern = "journal-%08d.wal"
 // existing segments, compacts the live records into a fresh segment, and
 // returns the journal plus the live submissions in original order. The
 // replayed records are the recovery work list; the caller re-submits
-// them.
-func openJournal(dir string, maxBytes int64) (*Journal, []journalRecord, ReplayStats, error) {
+// them. Counters record into reg (nil means a private registry).
+func openJournal(dir string, maxBytes int64, reg *obs.Registry) (*Journal, []journalRecord, ReplayStats, error) {
 	if maxBytes <= 0 {
 		maxBytes = journalMaxSegmentBytes
 	}
@@ -147,6 +152,7 @@ func openJournal(dir string, maxBytes int64) (*Journal, []journalRecord, ReplayS
 		maxBytes: maxBytes,
 		live:     make(map[string]journalRecord, len(recs)),
 		maxSeq:   stats.MaxSeq,
+		met:      newJournalMetrics(reg),
 	}
 	for _, r := range recs {
 		j.live[r.ID] = r
@@ -274,11 +280,14 @@ func (j *Journal) Append(rec journalRecord) error {
 	if j.closed {
 		return fmt.Errorf("service: journal closed")
 	}
-	if err := j.appendLocked(rec); err != nil {
-		j.appendErrors++
+	start := time.Now()
+	err := j.appendLocked(rec)
+	j.met.appendLat.Observe(time.Since(start).Seconds())
+	if err != nil {
+		j.met.appendErrors.Inc()
 		return err
 	}
-	j.appends++
+	j.met.appends.Inc()
 	switch rec.Op {
 	case opSubmit:
 		if rec.Seq > j.maxSeq {
@@ -291,11 +300,13 @@ func (j *Journal) Append(rec journalRecord) error {
 	default:
 		delete(j.live, rec.ID)
 	}
+	j.met.liveTasks.Set(int64(len(j.live)))
+	j.met.segmentBytes.Set(j.segBytes)
 	if j.segBytes > j.maxBytes {
 		// Compaction failure is not fatal to the append: the record is
 		// durable in the oversized segment; the next append retries.
 		if err := j.compactLocked(j.segSeq + 1); err != nil {
-			j.appendErrors++
+			j.met.appendErrors.Inc()
 		}
 	}
 	return nil
@@ -401,7 +412,9 @@ func (j *Journal) compactLocked(segSeq int) error {
 	j.seg = seg
 	j.segSeq = segSeq
 	j.segBytes = size
-	j.compactions++
+	j.met.compactions.Inc()
+	j.met.liveTasks.Set(int64(len(j.live)))
+	j.met.segmentBytes.Set(j.segBytes)
 	for _, o := range old {
 		if o != name {
 			os.Remove(filepath.Join(j.dir, o))
@@ -410,7 +423,8 @@ func (j *Journal) compactLocked(segSeq int) error {
 	return nil
 }
 
-// Stats snapshots the journal counters.
+// Stats snapshots the journal counters from their registry series (the
+// same ones /metrics exposes).
 func (j *Journal) Stats() JournalStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -418,9 +432,9 @@ func (j *Journal) Stats() JournalStats {
 		Dir:          j.dir,
 		LiveTasks:    len(j.live),
 		SegmentBytes: j.segBytes,
-		Appends:      j.appends,
-		AppendErrors: j.appendErrors,
-		Compactions:  j.compactions,
+		Appends:      int64(j.met.appends.Value()),
+		AppendErrors: int64(j.met.appendErrors.Value()),
+		Compactions:  int64(j.met.compactions.Value()),
 	}
 }
 

@@ -24,7 +24,7 @@ func testRecord(op, id string, seq int) journalRecord {
 // and replay preserves the original submission order.
 func TestJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	j, recs, stats, err := openJournal(dir, 0)
+	j, recs, stats, err := openJournal(dir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, recs, stats, err := openJournal(dir, 0)
+	j2, recs, stats, err := openJournal(dir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestJournalRoundTrip(t *testing.T) {
 // before it replays.
 func TestJournalTornLine(t *testing.T) {
 	dir := t.TempDir()
-	j, _, _, err := openJournal(dir, 0)
+	j, _, _, err := openJournal(dir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestJournalTornLine(t *testing.T) {
 	}
 	f.Close()
 
-	j2, recs, stats, err := openJournal(dir, 0)
+	j2, recs, stats, err := openJournal(dir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestJournalTerminalWithoutSubmit(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j, recs, _, err := openJournal(dir, 0)
+	j, recs, _, err := openJournal(dir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestJournalTerminalWithoutSubmit(t *testing.T) {
 // live set, not the submission count.
 func TestJournalCompaction(t *testing.T) {
 	dir := t.TempDir()
-	j, _, _, err := openJournal(dir, 512)
+	j, _, _, err := openJournal(dir, 512, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestJournalCompaction(t *testing.T) {
 
 	// Reopening finds nothing live and one fresh segment.
 	j.Close()
-	j2, recs, stats, err := openJournal(dir, 512)
+	j2, recs, stats, err := openJournal(dir, 512, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"mime"
 	"net/http"
 	"strings"
+	"time"
 
 	"adasim/internal/experiments"
 	"adasim/internal/metrics"
@@ -53,23 +54,91 @@ type Server struct {
 const MaxSpecBytes = 1 << 20
 
 // NewServer wires the routes: the generic task routes plus, per
-// registered kind, the submission route and the legacy aliases.
+// registered kind, the submission route and the legacy aliases. Every
+// route is wrapped in the metrics middleware (request count and
+// duration per route pattern, method, and status class — the pattern,
+// never the raw path, is the label, so cardinality is the route table).
 func NewServer(d *Dispatcher) *Server {
 	s := &Server{d: d, mux: http.NewServeMux()}
 	for _, k := range Kinds() {
-		s.mux.HandleFunc("POST /v1/tasks/"+k.Plural, requireJSON(s.handleSubmit(k)))
+		s.route("POST /v1/tasks/"+k.Plural, requireJSON(s.handleSubmit(k)))
 		// Legacy per-kind aliases (kind-checked on GET/DELETE).
-		s.mux.HandleFunc("POST /v1/"+k.Plural, requireJSON(s.handleSubmit(k)))
-		s.mux.HandleFunc("GET /v1/"+k.Plural+"/{id}", s.handleTask(k))
-		s.mux.HandleFunc("GET /v1/"+k.Plural+"/{id}/results", s.handleTaskResults(k))
-		s.mux.HandleFunc("DELETE /v1/"+k.Plural+"/{id}", s.handleCancel(k))
+		s.route("POST /v1/"+k.Plural, requireJSON(s.handleSubmit(k)))
+		s.route("GET /v1/"+k.Plural+"/{id}", s.handleTask(k))
+		s.route("GET /v1/"+k.Plural+"/{id}/results", s.handleTaskResults(k))
+		s.route("GET /v1/"+k.Plural+"/{id}/events", s.handleTaskEvents(k))
+		s.route("DELETE /v1/"+k.Plural+"/{id}", s.handleCancel(k))
 	}
-	s.mux.HandleFunc("GET /v1/tasks/{id}", s.handleTask(nil))
-	s.mux.HandleFunc("GET /v1/tasks/{id}/results", s.handleTaskResults(nil))
-	s.mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleCancel(nil))
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.route("GET /v1/tasks/{id}", s.handleTask(nil))
+	s.route("GET /v1/tasks/{id}/results", s.handleTaskResults(nil))
+	s.route("GET /v1/tasks/{id}/events", s.handleTaskEvents(nil))
+	s.route("DELETE /v1/tasks/{id}", s.handleCancel(nil))
+	s.route("GET /v1/scenarios", s.handleScenarios)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", d.Registry().Handler().ServeHTTP)
 	return s
+}
+
+// route registers pattern with the metrics middleware wrapped around
+// the handler. Patterns are "METHOD /path"; both parts become fixed
+// label values on the pre-registered HTTP series. Under
+// Config.Uninstrumented the handler is mounted bare.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	if s.d.cfg.Uninstrumented {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		method, path = "", pattern
+	}
+	hm := newHTTPMetrics(s.d.Registry(), path, method)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		hm.observe(sw.code(), time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the metrics middleware.
+// It passes Flush through — the SSE stream runs behind the middleware
+// and must still reach the client incrementally.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// code is the response status, defaulting to 200 when the handler never
+// wrote one (implicit OK on an empty response).
+func (sw *statusWriter) code() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
 }
 
 // requireJSON rejects POST bodies whose declared Content-Type is not
@@ -232,6 +301,89 @@ func (s *Server) handleTaskResults(k *TaskKind) http.HandlerFunc {
 		}
 		writeJSON(w, http.StatusOK, kind.Wire(hash, result))
 	}
+}
+
+// handleTaskEvents serves a task's lifecycle timeline. The default
+// response is the full ordered event list as JSON; with Accept:
+// text/event-stream it switches to a live SSE stream — the recorded
+// events first, then each new one as it happens, closing right after
+// the terminal event. Events may be dropped on a stalled consumer
+// (see timelineSubBuffer); the terminal close is never lost.
+func (s *Server) handleTaskEvents(k *TaskKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if wantsEventStream(r) {
+			s.streamTaskEvents(w, r, k, id)
+			return
+		}
+		events, ok := s.d.taskEvents(id, k)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown %s %q", routeName(k), id))
+			return
+		}
+		writeJSON(w, http.StatusOK, TaskEventsResponse{ID: id, Events: events})
+	}
+}
+
+// wantsEventStream reports whether the request negotiated SSE.
+func wantsEventStream(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err == nil && mt == "text/event-stream" {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) streamTaskEvents(w http.ResponseWriter, r *http.Request, k *TaskKind, id string) {
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusNotAcceptable, fmt.Errorf("event stream unsupported on this connection"))
+		return
+	}
+	past, live, stop, ok := s.d.watchTask(id, k)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown %s %q", routeName(k), id))
+		return
+	}
+	defer stop()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range past {
+		if writeSSEEvent(w, ev) != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return // terminal event delivered; stream complete
+			}
+			if writeSSEEvent(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSEEvent emits one SSE frame: the event name plus the
+// TimelineEvent JSON as data.
+func writeSSEEvent(w io.Writer, ev TimelineEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Event, b)
+	return err
 }
 
 func (s *Server) handleCancel(k *TaskKind) http.HandlerFunc {

@@ -192,6 +192,24 @@ type task struct {
 	result      any           // kind-specific, set once status is done
 	done        chan struct{} // closed on done/failed/canceled
 
+	// Monotonic-clock twins of the wall timestamps above. The wall
+	// times serve the API but lose Go's monotonic reading through
+	// .UTC(), so durations derived from them would jump with clock
+	// steps; queue-wait/run-time durations (TaskView, the queue-wait and
+	// task-duration histograms) come from these instead. Recovered
+	// tasks get their recovery moment, not the pre-crash submission.
+	submittedMono time.Time
+	startedMono   time.Time
+	finishedMono  time.Time
+
+	// Lifecycle timeline (see timeline.go): the ordered event record,
+	// the live subscriber channels, the completed-count threshold for
+	// the next progress event, and its stride.
+	timeline       []TimelineEvent
+	subs           []chan TimelineEvent
+	nextProgress   int
+	progressStride int
+
 	cancel atomic.Bool // cooperative cancellation request
 }
 
@@ -214,6 +232,14 @@ type TaskView struct {
 	SubmittedAt     time.Time  `json:"submitted_at"`
 	StartedAt       *time.Time `json:"started_at,omitempty"`
 	FinishedAt      *time.Time `json:"finished_at,omitempty"`
+	// QueueWaitMillis and RunMillis are monotonic-clock durations
+	// (measured, not derived from the wall timestamps above, which lose
+	// the monotonic reading): submission→dispatch and dispatch→terminal.
+	// They are live — a queued task's wait and a running task's run time
+	// grow between polls. For journal-recovered tasks the wait is
+	// measured from recovery at boot, not the pre-crash submission.
+	QueueWaitMillis float64 `json:"queue_wait_ms,omitempty"`
+	RunMillis       float64 `json:"run_ms,omitempty"`
 }
 
 // Typed view aliases kept for the pre-runtime API surface; all three
@@ -248,21 +274,23 @@ func (q *taskQueue) push(t *task) {
 
 // pop returns the next task to dispatch: interactive first, unless bulk
 // work has already been overtaken ageAfter times, in which case the
-// oldest bulk task runs (the aging rule).
-func (q *taskQueue) pop(ageAfter int) *task {
+// oldest bulk task runs (the aging rule). promoted reports that the
+// aging rule fired — the bulk task was dispatched ahead of waiting
+// interactive work (feeds the aging-promotions counter).
+func (q *taskQueue) pop(ageAfter int) (t *task, promoted bool) {
 	popBulk := len(q.interactive) == 0 || (len(q.bulk) > 0 && q.overtakes >= ageAfter)
 	if popBulk && len(q.bulk) > 0 {
 		t := q.bulk[0]
 		q.bulk = q.bulk[1:]
 		q.overtakes = 0
-		return t
+		return t, len(q.interactive) > 0
 	}
-	t := q.interactive[0]
+	t = q.interactive[0]
 	q.interactive = q.interactive[1:]
 	if len(q.bulk) > 0 {
 		q.overtakes++
 	}
-	return t
+	return t, false
 }
 
 // remove deletes a queued task (cancellation path). It is a no-op if the

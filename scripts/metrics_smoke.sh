@@ -1,0 +1,122 @@
+#!/bin/sh
+# metrics_smoke.sh — observability smoke test against the real daemon
+# binaries. Flow:
+#
+#   1. start adasimd with -journal-dir, -cache-dir, -pprof, JSON logs
+#   2. submit a job, follow its SSE stream with `adasimctl task watch`
+#      (the stream must end by itself, on the terminal event)
+#   3. scrape /metrics: every line must match the text-exposition
+#      grammar, and the key series (task, queue, cache, journal, HTTP)
+#      must be present with sane values
+#   4. fetch the task's JSON timeline and check the event order
+#   5. probe a pprof endpoint and check the logs are valid JSON
+#
+# Exercises what the Go tests cannot: the flag wiring in main(), a real
+# SSE stream over TCP through the real client, and the daemon's stderr
+# log stream.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+PORT=$((20000 + $$ % 20000))
+ADDR="http://127.0.0.1:$PORT"
+
+echo "==> building adasimd and adasimctl"
+$GO build -o "$WORK/adasimd" ./cmd/adasimd
+$GO build -o "$WORK/adasimctl" ./cmd/adasimctl
+
+wait_health() {
+    for _ in $(seq 1 100); do
+        if "$WORK/adasimctl" -addr "$ADDR" health >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: daemon at $ADDR never became healthy" >&2
+    exit 1
+}
+
+echo "==> starting daemon (journal + cache + pprof, JSON logs)"
+"$WORK/adasimd" -addr "127.0.0.1:$PORT" -workers 2 \
+    -journal-dir "$WORK/journal" -cache-dir "$WORK/cache" \
+    -pprof -log-format json -log-level debug >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+wait_health
+
+echo "==> submitting job and following its SSE stream"
+"$WORK/adasimctl" -addr "$ADDR" submit \
+    -scenarios 1 -gaps 60 -reps 3 -steps 600 -seed 7 -fault rd -driver \
+    >"$WORK/submit.json"
+ID=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$WORK/submit.json" | head -1)
+[ -n "$ID" ] || { echo "FAIL: no task id in $(cat "$WORK/submit.json")" >&2; exit 1; }
+echo "    task $ID"
+
+# task watch must follow the live stream and exit on its own when the
+# server closes it after the terminal event.
+"$WORK/adasimctl" -addr "$ADDR" task watch -id "$ID" >"$WORK/watch.txt"
+grep -q " submitted" "$WORK/watch.txt" || { echo "FAIL: watch saw no submitted event" >&2; cat "$WORK/watch.txt" >&2; exit 1; }
+grep -q " started" "$WORK/watch.txt" || { echo "FAIL: watch saw no started event" >&2; cat "$WORK/watch.txt" >&2; exit 1; }
+tail -1 "$WORK/watch.txt" | grep -Eq " (done|failed|canceled)" || {
+    echo "FAIL: watch did not end on a terminal event:" >&2
+    cat "$WORK/watch.txt" >&2
+    exit 1
+}
+
+echo "==> checking the JSON timeline"
+curl -fsS "$ADDR/v1/tasks/$ID/events" >"$WORK/events.json"
+grep -q '"event":"submitted"' "$WORK/events.json" || { echo "FAIL: timeline missing submitted: $(cat "$WORK/events.json")" >&2; exit 1; }
+grep -q '"event":"done"' "$WORK/events.json" || { echo "FAIL: timeline missing done: $(cat "$WORK/events.json")" >&2; exit 1; }
+
+echo "==> scraping /metrics"
+curl -fsS "$ADDR/metrics" >"$WORK/metrics.txt"
+# Every line is a comment or `series value`: a metric-name first
+# character, at least two fields, and a numeric last field. (Label
+# values may contain spaces in general Prometheus, but ours never do.)
+awk '
+    /^#/ { next }
+    /^$/ { next }
+    $0 !~ /^[a-zA-Z_:]/ || NF < 2 ||
+    $NF !~ /^(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$/ {
+        print "bad exposition line: " $0; bad = 1
+    }
+    END { exit bad }
+' "$WORK/metrics.txt" || { echo "FAIL: /metrics grammar check failed" >&2; exit 1; }
+
+metric_at_least() {
+    series=$1 min=$2
+    val=$(awk -v s="$series " 'index($0, s) == 1 { print $NF; exit }' "$WORK/metrics.txt")
+    [ -n "$val" ] || { echo "FAIL: series $series missing from /metrics" >&2; exit 1; }
+    awk -v v="$val" -v m="$min" 'BEGIN { exit !(v + 0 >= m + 0) }' || {
+        echo "FAIL: $series = $val, want >= $min" >&2
+        exit 1
+    }
+}
+metric_at_least 'adasim_tasks_submitted_total{kind="jobs"}' 1
+metric_at_least 'adasim_tasks_finished_total{kind="jobs",status="done"}' 1
+metric_at_least 'adasim_runs_total{outcome="ok"}' 3
+metric_at_least 'adasim_journal_appends_total' 2
+metric_at_least 'adasim_cache_entries' 1
+metric_at_least 'adasim_http_requests_total{route="/metrics",method="GET",status="2xx"}' 0
+metric_at_least 'adasim_task_queue_wait_seconds_count{kind="jobs",class="interactive"}' 1
+
+echo "==> probing pprof and the JSON log stream"
+curl -fsS "$ADDR/debug/pprof/cmdline" >/dev/null || { echo "FAIL: pprof not reachable" >&2; exit 1; }
+grep -q '"msg":"task started"' "$WORK/daemon.log" || {
+    echo "FAIL: no structured task-started log line" >&2
+    cat "$WORK/daemon.log" >&2
+    exit 1
+}
+head -1 "$WORK/daemon.log" | grep -q '^{.*}$' || {
+    echo "FAIL: -log-format json did not produce JSON lines" >&2
+    head -3 "$WORK/daemon.log" >&2
+    exit 1
+}
+
+echo "PASS: metrics, SSE watch, timeline, pprof, and structured logs all healthy"
