@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke cover bench explore-smoke report-smoke recover-smoke metrics-smoke clean
+.PHONY: build vet test test-race fuzz-smoke cover bench explore-smoke report-smoke recover-smoke metrics-smoke worker-smoke clean
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,7 @@ bench:
 		echo "backed up previous BENCH_step.json to BENCH_history/"; \
 	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkInstrumentedMixedWorkload|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkMixedWorkloadMultiNode$$|BenchmarkInstrumentedMixedWorkload|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
@@ -98,6 +98,14 @@ recover-smoke:
 # stream.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# worker-smoke exercises distributed execution against the real
+# binaries: a coordinator with two adasim-worker processes attached,
+# a report spanning many leases, a SIGKILL of one worker mid-flight
+# (lease-expiry recovery), and a byte-compare of the distributed
+# results against a single-node reference daemon.
+worker-smoke:
+	./scripts/worker_smoke.sh
 
 clean:
 	rm -f BENCH_step.json cover.out

@@ -7,6 +7,8 @@ package adasim
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"adasim/internal/scenario"
 	"adasim/internal/service"
 	"adasim/internal/vehicle"
+	"adasim/internal/worker"
 )
 
 // benchCfg is the reduced campaign used by the table benches.
@@ -497,6 +500,67 @@ func benchMixedWorkload(b *testing.B, cfg service.Config) {
 			b.Error(err)
 		}
 	}()
+	benchMixedWorkloadOn(b, d)
+}
+
+// BenchmarkMixedWorkloadMultiNode is the distributed-execution variant
+// of the mixed-workload bench: the identical op loop, but the
+// coordinator has two in-process worker nodes attached over loopback
+// HTTP, so every wire-eligible run is leased out, executed remotely,
+// and written back through the shared cache. Comparing its ns/op
+// against BenchmarkMixedWorkloadThroughput prices the lease protocol +
+// wire codec + HTTP hop per batch.
+func BenchmarkMixedWorkloadMultiNode(b *testing.B) {
+	d, err := service.NewDispatcher(service.Config{
+		QueueSize: 256, CacheEntries: 1 << 16,
+		WorkerBatch: 4, LeaseTTL: 5 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Drain(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewServer(d)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := worker.New(worker.Config{
+			Coordinator: "http://" + ln.Addr().String(),
+			Name:        "bench-node",
+			Parallelism: 2,
+			LeaseWait:   50 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+		for w.ID() == "" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	benchMixedWorkloadOn(b, d)
+}
+
+// benchMixedWorkloadOn is the op loop shared by the single-node,
+// instrumented, and multi-node mixed-workload benches.
+func benchMixedWorkloadOn(b *testing.B, d *service.Dispatcher) {
 	jobSpec := func(seed int64) service.JobSpec {
 		return service.JobSpec{
 			Scenarios:     []scenario.ID{scenario.S1},

@@ -20,6 +20,7 @@
 //	                   task status|results|wait|cancel|watch -id <task-id>
 //	scenarios        list the scenario catalogue (including families)
 //	health           show daemon health, queue, pool, and cache counters
+//	workers          show the remote-worker fleet (connected workers, leases)
 //
 // The submit verbs accept -priority interactive|bulk to override the
 // kind's default scheduling class.
@@ -64,7 +65,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|task|scenarios|health> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|task|scenarios|health|workers> [flags]")
 		fmt.Fprintln(os.Stderr, "       adasimctl task <status|results|wait|cancel|watch> -id <task-id>")
 		flag.PrintDefaults()
 	}
@@ -102,6 +103,8 @@ func run() error {
 		return getPrint(c, "/v1/scenarios")
 	case "health":
 		return getPrint(c, "/healthz")
+	case "workers":
+		return getPrint(c, "/v1/workers")
 	default:
 		flag.Usage()
 		return fmt.Errorf("unknown command %q", cmd)

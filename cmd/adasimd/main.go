@@ -11,6 +11,13 @@
 //	adasimd -journal-dir /var/lib/adasim     # crash-safe task journal
 //	adasimd -log-format json -log-level debug
 //	adasimd -pprof                           # /debug/pprof/* profiling
+//	adasimd -submit-rate 10 -submit-burst 20 # per-client rate limiting
+//
+// Distributed execution: remote worker nodes (see cmd/adasim-worker)
+// register over HTTP and lease run batches; tasks fan out across the
+// fleet automatically and fall back to the local shards when no worker
+// is attached. -lease-ttl and -worker-batch tune the lease protocol;
+// `adasimctl workers` shows the fleet.
 //
 // With -journal-dir every accepted task is appended to a write-ahead
 // journal before it is queued, and on boot the daemon replays the
@@ -66,6 +73,10 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to finish tasks on shutdown")
 		journalDir   = flag.String("journal-dir", "", "optional write-ahead task journal directory (enables restart recovery)")
 		runRetries   = flag.Int("run-retries", 0, "extra attempts per failing run (0 = default 2, negative = disabled)")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "remote-worker lease TTL (0 = default 10s)")
+		workerBatch  = flag.Int("worker-batch", 0, "runs per remote-worker lease (0 = default 16)")
+		submitRate   = flag.Float64("submit-rate", 0, "per-client submissions per second (0 = rate limiting off)")
+		submitBurst  = flag.Int("submit-burst", 0, "per-client submission burst capacity (0 = 1 when limiting is on)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
 		writeTimeout = flag.Duration("write-timeout", 5*time.Minute, "max time to write a response (bounds SSE streams too)")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
@@ -88,6 +99,10 @@ func run() error {
 		AgeAfter:     *ageAfter,
 		JournalDir:   *journalDir,
 		RunRetries:   *runRetries,
+		LeaseTTL:     *leaseTTL,
+		WorkerBatch:  *workerBatch,
+		SubmitRate:   *submitRate,
+		SubmitBurst:  *submitBurst,
 		Logger:       logger,
 	})
 	if err != nil {

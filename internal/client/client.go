@@ -300,6 +300,14 @@ func readSSE(r io.Reader, fn func(service.TimelineEvent)) error {
 	return flush()
 }
 
+// Workers fetches the coordinator's remote-worker fleet view (the
+// GET /v1/workers summary and per-worker rows).
+func (c *Client) Workers() (service.WorkersResponse, error) {
+	var resp service.WorkersResponse
+	err := c.GetJSON("/v1/workers", &resp)
+	return resp, err
+}
+
 // CancelTask requests cooperative cancellation of a task.
 func (c *Client) CancelTask(id string) (service.TaskView, error) {
 	var view service.TaskView

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"adasim/internal/core"
+)
+
+// MarshalOptions encodes a run's options for network transport: the same
+// canonical projection RunFingerprint hashes (every field that determines
+// the trajectory, recording flags excluded), so marshalling and
+// fingerprinting can never disagree about what a run *is*. Options are
+// defaulted first, which makes the encoding — like the fingerprint —
+// identical whether the sender left defaults implicit or spelled them
+// out, and means the receiver executes exactly the resolved options the
+// sender planned.
+//
+// Runs that cannot be fingerprinted cannot travel either: ML runs carry
+// trained weights that do not serialize, and trace/ML-frame recording
+// runs produce results that exist only in the executing process (Trace
+// is excluded from every wire format). Callers partition those out and
+// execute them locally.
+func MarshalOptions(opts core.Options) ([]byte, error) {
+	if opts.Interventions.ML || opts.Interventions.MLNet != nil {
+		return nil, fmt.Errorf("experiments: ML runs cannot be marshalled (trained weights are not part of the encoding)")
+	}
+	if opts.RecordTrace || opts.RecordMLFrames {
+		return nil, fmt.Errorf("experiments: recording runs cannot be marshalled (traces and ML frames do not travel)")
+	}
+	opts = opts.WithDefaults()
+	b, err := json.Marshal(optionsFingerprint{
+		Scenario:              opts.Scenario,
+		Map:                   opts.Map,
+		FrictionScale:         opts.FrictionScale,
+		Fault:                 opts.Fault,
+		ExtendedFault:         opts.ExtendedFault,
+		ExtendedParams:        opts.ExtendedParams,
+		Interventions:         opts.Interventions,
+		Seed:                  opts.Seed,
+		Steps:                 opts.Steps,
+		StepSize:              opts.StepSize,
+		PatchStart:            opts.PatchStart,
+		PatchLength:           opts.PatchLength,
+		OpenPilot:             opts.OpenPilot,
+		Perception:            opts.Perception,
+		AEBS:                  opts.AEBS,
+		Vehicle:               opts.Vehicle,
+		Panda:                 opts.Panda,
+		ContinueAfterAccident: opts.ContinueAfterAccident,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: marshalling run options: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalOptions is the strict inverse of MarshalOptions. Unknown
+// fields are rejected — a worker must refuse a lease written by an
+// incompatible coordinator rather than silently executing a different
+// run. The decoded options are already fully defaulted (MarshalOptions
+// defaults before encoding), so executing them on any platform yields
+// the bit-identical trajectory the sender's fingerprint names.
+func UnmarshalOptions(b []byte) (core.Options, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var fp optionsFingerprint
+	if err := dec.Decode(&fp); err != nil {
+		return core.Options{}, fmt.Errorf("experiments: unmarshalling run options: %w", err)
+	}
+	return core.Options{
+		Scenario:              fp.Scenario,
+		Map:                   fp.Map,
+		FrictionScale:         fp.FrictionScale,
+		Fault:                 fp.Fault,
+		ExtendedFault:         fp.ExtendedFault,
+		ExtendedParams:        fp.ExtendedParams,
+		Interventions:         fp.Interventions,
+		Seed:                  fp.Seed,
+		Steps:                 fp.Steps,
+		StepSize:              fp.StepSize,
+		PatchStart:            fp.PatchStart,
+		PatchLength:           fp.PatchLength,
+		OpenPilot:             fp.OpenPilot,
+		Perception:            fp.Perception,
+		AEBS:                  fp.AEBS,
+		Vehicle:               fp.Vehicle,
+		Panda:                 fp.Panda,
+		ContinueAfterAccident: fp.ContinueAfterAccident,
+	}, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"adasim/internal/core"
+	"adasim/internal/fi"
+	"adasim/internal/scenario"
+)
+
+// TestOptionsWireRoundTrip pins the remote-execution contract: options
+// that travel over a worker lease decode to options whose fingerprint —
+// and therefore whose trajectory — matches the sender's, and whose
+// execution produces the bit-identical outcome.
+func TestOptionsWireRoundTrip(t *testing.T) {
+	fs := 0.75
+	opts := core.Options{
+		Scenario:      scenario.DefaultSpec(scenario.S3, 230),
+		FrictionScale: fs,
+		Fault:         fi.DefaultParams(fi.TargetCurvature),
+		Interventions: core.InterventionSet{Driver: true, SafetyCheck: true},
+		Seed:          42,
+		Steps:         400,
+	}
+	b, err := MarshalOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalOptions(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := RunFingerprint(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := RunFingerprint(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != h1 {
+		t.Fatalf("round-tripped options fingerprint differently: %s vs %s", h0, h1)
+	}
+	// The decoded options must execute to the same outcome, not merely
+	// hash the same.
+	var local, remote Runner
+	r0, err := local.Do(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := remote.Do(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Outcome != r1.Outcome {
+		t.Error("round-tripped options executed to a different outcome")
+	}
+}
+
+// TestOptionsWireDefaultsInvariance: implicit and explicit defaults
+// produce byte-identical encodings, so batch splitting on the
+// coordinator can never depend on how a spec spelled its defaults.
+func TestOptionsWireDefaultsInvariance(t *testing.T) {
+	implicit := core.Options{Scenario: scenario.DefaultSpec(scenario.S1, 60), Seed: 7}
+	explicit := implicit
+	explicit.FrictionScale = 1
+	explicit.Steps = core.DefaultSteps
+	explicit.StepSize = core.DefaultStepSize
+	explicit.PatchStart = core.DefaultPatchStart
+	explicit.PatchLength = core.DefaultPatchLength
+
+	bi, err := MarshalOptions(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := MarshalOptions(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bi) != string(be) {
+		t.Errorf("implicit and explicit defaults encode differently:\n%s\n%s", bi, be)
+	}
+}
+
+// TestOptionsWireRejections pins what must not travel: ML runs (weights
+// do not serialize), recording runs (traces exist only in the executing
+// process), and encodings with unknown fields (incompatible versions
+// must fail loudly, not execute a different run).
+func TestOptionsWireRejections(t *testing.T) {
+	base := core.Options{Scenario: scenario.DefaultSpec(scenario.S1, 60)}
+
+	ml := base
+	ml.Interventions.ML = true
+	if _, err := MarshalOptions(ml); err == nil {
+		t.Error("MarshalOptions accepted an ML run")
+	}
+	trace := base
+	trace.RecordTrace = true
+	if _, err := MarshalOptions(trace); err == nil {
+		t.Error("MarshalOptions accepted a trace-recording run")
+	}
+	frames := base
+	frames.RecordMLFrames = true
+	if _, err := MarshalOptions(frames); err == nil {
+		t.Error("MarshalOptions accepted an ML-frame-recording run")
+	}
+	if _, err := UnmarshalOptions([]byte(`{"seed": 1, "bogus_field": true}`)); err == nil {
+		t.Error("UnmarshalOptions accepted an unknown field")
+	}
+}

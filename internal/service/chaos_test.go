@@ -120,7 +120,6 @@ func TestWorkerPanicIsolation(t *testing.T) {
 	}
 	d := newChaosDispatcher(t, Config{Workers: 2, QueueSize: 8, CacheEntries: 16}, bomb)
 
-
 	bv, err := d.Submit(bad)
 	if err != nil {
 		t.Fatal(err)

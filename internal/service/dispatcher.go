@@ -96,6 +96,22 @@ type Config struct {
 	// the owning task. Panics are never retried. Zero means 2; negative
 	// disables retries.
 	RunRetries int
+	// LeaseTTL is the worker-lease time to live: a leased batch neither
+	// completed nor heartbeat-extended within it is re-queued, and a
+	// worker silent for twice it is pruned. Zero means 10s.
+	LeaseTTL time.Duration
+	// WorkerBatch is how many runs one worker lease carries. Batch
+	// splitting is deterministic over run indexes, so this affects
+	// scheduling only, never results. Zero means 16.
+	WorkerBatch int
+	// SubmitRate, when positive, enables per-client rate limiting on
+	// the task-submission routes: each remote host accrues SubmitRate
+	// tokens per second up to SubmitBurst, one submission per token;
+	// beyond that, 429 with Retry-After. Zero disables limiting.
+	SubmitRate float64
+	// SubmitBurst is the token-bucket capacity per client. Zero means 1
+	// when limiting is enabled.
+	SubmitBurst int
 	// Metrics is the observability registry every layer records into
 	// (queue, cache, journal, HTTP); the daemon serves it at /metrics.
 	// Nil means a private registry — everything still records, it is
@@ -130,6 +146,12 @@ func (c Config) normalized() Config {
 	}
 	if c.AgeAfter <= 0 {
 		c.AgeAfter = 4
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.WorkerBatch <= 0 {
+		c.WorkerBatch = 16
 	}
 	if c.RunRetries == 0 {
 		c.RunRetries = 2
@@ -170,6 +192,14 @@ type Dispatcher struct {
 	cache *ResultCache
 	m     *dispatcherMetrics
 	log   *slog.Logger
+
+	// hub is the remote-worker lease table; always present (a hub with
+	// no registered workers is inert and every task runs on the local
+	// shards).
+	hub *workerHub
+	// limiter rate-limits task submissions per client; nil when
+	// Config.SubmitRate is zero (the default).
+	limiter *submitLimiter
 
 	journal  *Journal
 	recovery *RecoveryStats
@@ -242,6 +272,8 @@ func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*c
 		schedDone: make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	d.hub = newWorkerHub(cache, newWorkerMetrics(cfg.Metrics), cfg.Logger, cfg.LeaseTTL, cfg.WorkerBatch)
+	d.limiter = newSubmitLimiter(cfg.SubmitRate, cfg.SubmitBurst, cfg.Metrics)
 	if cfg.JournalDir != "" {
 		j, recs, stats, err := openJournal(cfg.JournalDir, 0, cfg.Metrics)
 		if err != nil {
@@ -685,6 +717,9 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 	go func() { d.workerWG.Wait(); close(workersDone) }()
 	select {
 	case <-workersDone:
+		// The hub closes after the shards: in-flight tasks may still be
+		// settling remote batches until the last worker goroutine exits.
+		d.hub.close()
 		if d.journal != nil {
 			d.journal.Close()
 		}
@@ -776,10 +811,17 @@ func (d *Dispatcher) scheduler() {
 // done tasks, with a fingerprint of the wire-shaped result) so a
 // restart never replays finished work.
 func (d *Dispatcher) executeTask(t *task) {
+	canceled := func() bool {
+		return t.cancel.Load() || d.halted.Load()
+	}
 	env := TaskEnv{
-		Exec: shardExecutor{d: d, canceled: func() bool {
-			return t.cancel.Load() || d.halted.Load()
-		}},
+		// The remote executor fans batches to attached workers and
+		// degrades to the plain local shard executor when none are live.
+		Exec: remoteExecutor{
+			hub:      d.hub,
+			local:    shardExecutor{d: d, canceled: canceled},
+			canceled: canceled,
+		},
 		Cache: d.cache,
 		Progress: func(completed, cacheHits int) {
 			// Progress callbacks arrive concurrently from worker

@@ -1,0 +1,128 @@
+// Per-client submission rate limiting: a token bucket per remote host
+// on the task-submission routes. Off by default (Config.SubmitRate 0);
+// when on, a client exceeding its budget gets 429 with a Retry-After
+// hint sized to when its next token lands — the same contract as a full
+// queue, so well-behaved clients need one backoff path, not two.
+package service
+
+import (
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"adasim/internal/obs"
+)
+
+// errSubmitRateLimited is the 429 body on a rate-limited submission.
+var errSubmitRateLimited = errors.New("service: submission rate limit exceeded")
+
+// limiterPruneAfter is how long a bucket must sit idle and full before
+// the limiter forgets the client: long enough that an active client
+// never loses its bucket, short enough that one-shot clients do not
+// accumulate forever.
+const limiterPruneAfter = 5 * time.Minute
+
+// submitLimiter is a per-host token-bucket map. Tokens accrue at rate
+// per second up to burst; one submission spends one token.
+type submitLimiter struct {
+	rate    float64
+	burst   float64
+	limited *obs.Counter
+
+	mu        sync.Mutex
+	buckets   map[string]*tokenBucket
+	lastPrune time.Time
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newSubmitLimiter returns nil — limiting disabled — unless rate is
+// positive. A non-positive burst defaults to a single-token bucket.
+// The rejection counter registers whether or not limiting is enabled,
+// keeping the /metrics series set independent of configuration.
+func newSubmitLimiter(rate float64, burst int, reg *obs.Registry) *submitLimiter {
+	limited := reg.Counter("adasim_submits_rate_limited_total",
+		"Task submissions rejected by the per-client rate limit.")
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &submitLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		limited: limited,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow spends one token from remoteAddr's bucket. When the bucket is
+// empty it returns false and the Retry-After seconds until the next
+// token accrues (minimum 1 — the header is integral).
+func (l *submitLimiter) allow(remoteAddr string) (ok bool, retryAfter int) {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[host]
+	if b == nil {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[host] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	l.pruneLocked(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.limited.Inc()
+	retry := int(math.Ceil((1 - b.tokens) / l.rate))
+	if retry < 1 {
+		retry = 1
+	}
+	return false, retry
+}
+
+// pruneLocked drops buckets idle long enough to have refilled — their
+// absence is indistinguishable from their presence. l.mu must be held.
+func (l *submitLimiter) pruneLocked(now time.Time) {
+	if now.Sub(l.lastPrune) < limiterPruneAfter {
+		return
+	}
+	l.lastPrune = now
+	for host, b := range l.buckets {
+		if now.Sub(b.last) >= limiterPruneAfter {
+			delete(l.buckets, host)
+		}
+	}
+}
+
+// limitSubmit wraps a submission handler in the rate limiter; with
+// limiting disabled the handler is returned unwrapped.
+func (s *Server) limitSubmit(next http.HandlerFunc) http.HandlerFunc {
+	l := s.d.limiter
+	if l == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ok, retry := l.allow(r.RemoteAddr); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests, errSubmitRateLimited)
+			return
+		}
+		next(w, r)
+	}
+}

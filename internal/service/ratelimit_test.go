@@ -1,0 +1,118 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"adasim/internal/obs"
+)
+
+// TestSubmitRateLimit pins the 429 contract end to end: a burst-capacity
+// client sails through, the next submission is rejected with a
+// Retry-After hint, the rejection is counted, and non-submission routes
+// stay unlimited.
+func TestSubmitRateLimit(t *testing.T) {
+	d := newTestDispatcher(t, Config{
+		Workers: 1, QueueSize: 16, CacheEntries: 16,
+		SubmitRate: 0.5, SubmitBurst: 2,
+	})
+	ts := httptest.NewServer(NewServer(d))
+	defer ts.Close()
+
+	spec := smallSpec()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/tasks/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Burst of 2 is admitted (202 or 200-cached, never 429).
+	for i := 0; i < 2; i++ {
+		resp := post()
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("submission %d rate limited inside burst", i)
+		}
+	}
+	// The third in quick succession exceeds the bucket.
+	resp := post()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submission status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive integral hint", ra)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("429 body = %+v, %v (want JSON error)", e, err)
+	}
+	if got := d.limiter.limited.Value(); got != 1 {
+		t.Errorf("rate-limited counter = %d, want 1", got)
+	}
+
+	// Reads are never rate limited.
+	for i := 0; i < 5; i++ {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d, want 200", r.StatusCode)
+		}
+	}
+}
+
+// TestSubmitLimiterRefill pins the token-bucket math without the clock:
+// an exhausted bucket earns its next token at the configured rate, and
+// Retry-After reflects the deficit.
+func TestSubmitLimiterRefill(t *testing.T) {
+	l := newSubmitLimiter(50, 1, obs.NewRegistry())
+	addr := "10.0.0.9:4242"
+	if ok, _ := l.allow(addr); !ok {
+		t.Fatal("first call should spend the burst token")
+	}
+	ok, retry := l.allow(addr)
+	if ok {
+		t.Fatal("second immediate call should be limited")
+	}
+	if retry < 1 {
+		t.Errorf("retryAfter = %d, want >= 1", retry)
+	}
+	// At 50 tokens/s a token lands within ~20ms.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ok, _ := l.allow(addr); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Distinct clients get distinct buckets.
+	if ok, _ := l.allow("10.0.0.10:4242"); !ok {
+		t.Error("fresh client unexpectedly limited")
+	}
+}
+
+// TestSubmitLimiterDisabled: rate 0 disables limiting entirely.
+func TestSubmitLimiterDisabled(t *testing.T) {
+	if l := newSubmitLimiter(0, 10, obs.NewRegistry()); l != nil {
+		t.Error("rate 0 should return a nil limiter")
+	}
+}

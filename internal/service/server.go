@@ -61,9 +61,9 @@ const MaxSpecBytes = 1 << 20
 func NewServer(d *Dispatcher) *Server {
 	s := &Server{d: d, mux: http.NewServeMux()}
 	for _, k := range Kinds() {
-		s.route("POST /v1/tasks/"+k.Plural, requireJSON(s.handleSubmit(k)))
+		s.route("POST /v1/tasks/"+k.Plural, s.limitSubmit(requireJSON(s.handleSubmit(k))))
 		// Legacy per-kind aliases (kind-checked on GET/DELETE).
-		s.route("POST /v1/"+k.Plural, requireJSON(s.handleSubmit(k)))
+		s.route("POST /v1/"+k.Plural, s.limitSubmit(requireJSON(s.handleSubmit(k))))
 		s.route("GET /v1/"+k.Plural+"/{id}", s.handleTask(k))
 		s.route("GET /v1/"+k.Plural+"/{id}/results", s.handleTaskResults(k))
 		s.route("GET /v1/"+k.Plural+"/{id}/events", s.handleTaskEvents(k))
@@ -74,6 +74,12 @@ func NewServer(d *Dispatcher) *Server {
 	s.route("GET /v1/tasks/{id}/events", s.handleTaskEvents(nil))
 	s.route("DELETE /v1/tasks/{id}", s.handleCancel(nil))
 	s.route("GET /v1/scenarios", s.handleScenarios)
+	s.route("POST /v1/worker/register", requireJSON(s.handleWorkerRegister))
+	s.route("POST /v1/worker/lease", requireJSON(s.handleWorkerLease))
+	s.route("POST /v1/worker/heartbeat", requireJSON(s.handleWorkerHeartbeat))
+	s.route("POST /v1/worker/complete", requireJSON(s.handleWorkerComplete))
+	s.route("POST /v1/worker/deregister", requireJSON(s.handleWorkerDeregister))
+	s.route("GET /v1/workers", s.handleWorkers)
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /metrics", d.Registry().Handler().ServeHTTP)
 	return s
@@ -203,6 +209,9 @@ type HealthResponse struct {
 	Explorations map[Status]int            `json:"explorations"`
 	Reports      map[Status]int            `json:"reports"`
 	Cache        CacheStats                `json:"cache"`
+	// RemoteWorkers summarizes the attached worker fleet: connected
+	// workers, live leases, and the lease/re-queue counters.
+	RemoteWorkers WorkerFleetStats `json:"remote_workers"`
 	// Journal and Recovery are present only when the daemon runs with a
 	// task journal (-journal-dir): the journal's live-set and error
 	// counters, and what the last boot replayed.
@@ -424,15 +433,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	tasks := s.d.TaskCounts()
 	queue := s.d.QueueStats()
 	resp := HealthResponse{
-		Status:       status,
-		Workers:      s.d.Workers(),
-		QueueDepth:   queue.Depth,
-		Queue:        queue,
-		Tasks:        tasks,
-		Jobs:         tasks[JobKind.Plural],
-		Explorations: tasks[ExplorationKind.Plural],
-		Reports:      tasks[ReportKind.Plural],
-		Cache:        s.d.Cache().Stats(),
+		Status:        status,
+		Workers:       s.d.Workers(),
+		QueueDepth:    queue.Depth,
+		Queue:         queue,
+		Tasks:         tasks,
+		Jobs:          tasks[JobKind.Plural],
+		Explorations:  tasks[ExplorationKind.Plural],
+		Reports:       tasks[ReportKind.Plural],
+		Cache:         s.d.Cache().Stats(),
+		RemoteWorkers: s.d.hub.FleetStats(),
 	}
 	if js, ok := s.d.JournalStats(); ok {
 		resp.Journal = &js
