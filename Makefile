@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race fuzz-smoke cover bench explore-smoke report-smoke recover-smoke metrics-smoke worker-smoke clean
+.PHONY: build vet test test-race fuzz-smoke cover bench bench-check explore-smoke report-smoke recover-smoke metrics-smoke worker-smoke clean
 
 build:
 	$(GO) build ./...
@@ -52,10 +52,16 @@ bench:
 		echo "backed up previous BENCH_step.json to BENCH_history/"; \
 	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkMixedWorkloadMultiNode$$|BenchmarkInstrumentedMixedWorkload|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMInfer32$$|BenchmarkLSTMInferBatched$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkMixedWorkloadMultiNode$$|BenchmarkInstrumentedMixedWorkload|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# bench-check is the perf smoke gate (see scripts/bench_check.sh): it
+# fails if the hot simulation step allocates at all or if the paired
+# interleaved instrumentation-overhead measurement exceeds 10%.
+bench-check:
+	./scripts/bench_check.sh
 
 # explore-smoke exercises the scenario-generation and exploration
 # subsystem end to end at tiny scale: a seeded LHS sweep and one

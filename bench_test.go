@@ -83,6 +83,39 @@ func BenchmarkClosedLoopRun(b *testing.B) {
 	}
 }
 
+// TestClosedLoopRunAllocBudget ratchets the per-run allocation count on
+// the warm path (a pooled Runner resetting its platform between runs —
+// how campaigns, explorations, and the service all execute). The budget
+// only ever moves down: if a change pushes a warm run back over it, the
+// allocation crept into a loop that executes millions of times per
+// campaign.
+func TestClosedLoopRunAllocBudget(t *testing.T) {
+	const budget = 24
+	var r experiments.Runner
+	opts := func(seed int64) core.Options {
+		return core.Options{
+			Scenario:      scenario.DefaultSpec(scenario.S1, 60),
+			Fault:         fi.DefaultParams(fi.TargetMixed),
+			Interventions: core.InterventionSet{Driver: true, SafetyCheck: true},
+			Seed:          seed,
+			Steps:         600,
+		}
+	}
+	if _, err := r.Do(opts(1)); err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(2)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Do(opts(seed)); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	})
+	if allocs > budget {
+		t.Errorf("warm closed-loop run allocs = %v, budget %d", allocs, budget)
+	}
+}
+
 // BenchmarkTableIV regenerates the fault-free driving-performance table.
 func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -471,6 +504,14 @@ func BenchmarkMixedWorkloadThroughput(b *testing.B) {
 // histograms compiled out to nil handles ("baseline", Uninstrumented).
 // The two ns/op must stay within a few percent of each other — the
 // observability layer's whole design constraint.
+//
+// The "overhead" sub-bench is the one the bench-check gate reads: it
+// interleaves baseline and instrumented ops within a single timing
+// loop, so slow drift of the host (thermal state, background load)
+// lands on both sides instead of biasing whichever variant ran second
+// — sequential A/B runs of this workload have shown phantom ~30%
+// deltas from exactly that. It reports the paired difference as
+// overhead-%.
 func BenchmarkInstrumentedMixedWorkload(b *testing.B) {
 	b.Run("baseline", func(b *testing.B) {
 		benchMixedWorkload(b, service.Config{
@@ -479,6 +520,50 @@ func BenchmarkInstrumentedMixedWorkload(b *testing.B) {
 	})
 	b.Run("instrumented", func(b *testing.B) {
 		benchMixedWorkload(b, service.Config{QueueSize: 256, CacheEntries: 1 << 16})
+	})
+	b.Run("overhead", func(b *testing.B) {
+		newDispatcher := func(uninstrumented bool) *service.Dispatcher {
+			d, err := service.NewDispatcher(service.Config{
+				QueueSize: 256, CacheEntries: 1 << 16, Uninstrumented: uninstrumented,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}
+		drain := func(d *service.Dispatcher) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := d.Drain(ctx); err != nil {
+				b.Error(err)
+			}
+		}
+		base := newDispatcher(true)
+		defer drain(base)
+		instr := newDispatcher(false)
+		defer drain(instr)
+
+		// Warm both dispatchers once so first-op setup (pool spin-up,
+		// route tables) stays out of the measurement.
+		mixedWorkloadOp(b, base, 1_000_000)
+		mixedWorkloadOp(b, instr, 2_000_000)
+
+		var tBase, tInstr time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Disjoint seed spaces keep every op cold on both sides.
+			start := time.Now()
+			mixedWorkloadOp(b, base, int64(i)*200+1)
+			tBase += time.Since(start)
+			start = time.Now()
+			mixedWorkloadOp(b, instr, int64(i)*200+101)
+			tInstr += time.Since(start)
+		}
+		b.StopTimer()
+		n := float64(b.N)
+		b.ReportMetric(tBase.Seconds()*1e9/n, "baseline-ns/op")
+		b.ReportMetric(tInstr.Seconds()*1e9/n, "instrumented-ns/op")
+		b.ReportMetric((tInstr.Seconds()-tBase.Seconds())/tBase.Seconds()*100, "overhead-%")
 	})
 }
 
@@ -561,6 +646,19 @@ func BenchmarkMixedWorkloadMultiNode(b *testing.B) {
 // benchMixedWorkloadOn is the op loop shared by the single-node,
 // instrumented, and multi-node mixed-workload benches.
 func benchMixedWorkloadOn(b *testing.B, d *service.Dispatcher) {
+	b.ResetTimer()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		runs += mixedWorkloadOp(b, d, int64(i)*100+1)
+	}
+	b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+}
+
+// mixedWorkloadOp is one mixed-workload op: one bulk report already
+// running, a second bulk report and four interactive jobs queued
+// behind it, every interactive job dispatched ahead of the queued bulk
+// report (asserted). Returns the completed-run count.
+func mixedWorkloadOp(b *testing.B, d *service.Dispatcher, base int64) int {
 	jobSpec := func(seed int64) service.JobSpec {
 		return service.JobSpec{
 			Scenarios:     []scenario.ID{scenario.S1},
@@ -572,44 +670,40 @@ func benchMixedWorkloadOn(b *testing.B, d *service.Dispatcher) {
 			Interventions: core.InterventionSet{Driver: true, SafetyCheck: true},
 		}
 	}
-	b.ResetTimer()
 	var runs int
-	for i := 0; i < b.N; i++ {
-		base := int64(i)*100 + 1
-		rspec := report.Spec{Artifacts: []string{report.Table4}, Reps: 1, Steps: 600, BaseSeed: base}
-		running, err := d.SubmitReport(rspec)
-		if err != nil {
+	rspec := report.Spec{Artifacts: []string{report.Table4}, Reps: 1, Steps: 600, BaseSeed: base}
+	running, err := d.SubmitReport(rspec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rspec.BaseSeed = base + 1
+	queued, err := d.SubmitReport(rspec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]service.TaskView, 4)
+	for j := range jobs {
+		if jobs[j], err = d.Submit(jobSpec(base + int64(j) + 2)); err != nil {
 			b.Fatal(err)
-		}
-		rspec.BaseSeed = base + 1
-		queued, err := d.SubmitReport(rspec)
-		if err != nil {
-			b.Fatal(err)
-		}
-		jobs := make([]service.TaskView, 4)
-		for j := range jobs {
-			if jobs[j], err = d.Submit(jobSpec(base + int64(j) + 2)); err != nil {
-				b.Fatal(err)
-			}
-		}
-		for _, id := range []string{running.ID, queued.ID, jobs[0].ID, jobs[1].ID, jobs[2].ID, jobs[3].ID} {
-			<-d.TaskDone(id)
-			view, _ := d.Task(id)
-			if view.Status != service.StatusDone {
-				b.Fatalf("task %s: %s (%s)", id, view.Status, view.Error)
-			}
-			runs += view.CompletedRuns
-		}
-		bulk, _ := d.Task(queued.ID)
-		for j := range jobs {
-			view, _ := d.Task(jobs[j].ID)
-			if view.FinishedAt.After(*bulk.FinishedAt) {
-				b.Fatalf("interactive job %s finished after the queued bulk report %s",
-					view.ID, bulk.ID)
-			}
 		}
 	}
-	b.ReportMetric(float64(runs)/float64(b.N), "runs/op")
+	for _, id := range []string{running.ID, queued.ID, jobs[0].ID, jobs[1].ID, jobs[2].ID, jobs[3].ID} {
+		<-d.TaskDone(id)
+		view, _ := d.Task(id)
+		if view.Status != service.StatusDone {
+			b.Fatalf("task %s: %s (%s)", id, view.Status, view.Error)
+		}
+		runs += view.CompletedRuns
+	}
+	bulk, _ := d.Task(queued.ID)
+	for j := range jobs {
+		view, _ := d.Task(jobs[j].ID)
+		if view.FinishedAt.After(*bulk.FinishedAt) {
+			b.Fatalf("interactive job %s finished after the queued bulk report %s",
+				view.ID, bulk.ID)
+		}
+	}
+	return runs
 }
 
 // BenchmarkExploreBoundarySearch measures one hazard-boundary search
@@ -707,6 +801,60 @@ func BenchmarkLSTMInfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = net.PredictInto(seq, sc)
 	}
+}
+
+// benchSeq32 builds the float32 twin of the BenchmarkLSTMInfer window.
+func benchSeq32() [][]float32 {
+	seq := make([][]float32, mlmit.HistorySteps)
+	for i := range seq {
+		seq[i] = make([]float32, mlmit.FeatureDim)
+		seq[i][0] = float32(i) / 20
+	}
+	return seq
+}
+
+// BenchmarkLSTMInfer32 measures the single-sequence float32 fallback
+// (a batch of one through the batched kernels) on the same network and
+// window as BenchmarkLSTMInfer.
+func BenchmarkLSTMInfer32(b *testing.B) {
+	net, err := nn.NewNetwork(mlmit.FeatureDim, []int{128, 64}, mlmit.OutputDim, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := net.NewInferScratch32(1)
+	seq := benchSeq32()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.PredictInto32(seq, sc)
+	}
+}
+
+// BenchmarkLSTMInferBatched measures the batched float32 GEMM path
+// fusing 8 concurrent sequences — the configuration the acceptance
+// criterion's 5x-per-sequence target is judged on. One op is a whole
+// batch; µs/seq reports the per-sequence cost for direct comparison
+// with BenchmarkLSTMInfer.
+func BenchmarkLSTMInferBatched(b *testing.B) {
+	const batch = 8
+	net, err := nn.NewNetwork(mlmit.FeatureDim, []int{128, 64}, mlmit.OutputDim, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := net.NewInferScratch32(batch)
+	seqs := make([][][]float32, batch)
+	for i := range seqs {
+		seqs[i] = benchSeq32()
+		seqs[i][0][1] = float32(i) // distinct sequences
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		_ = net.PredictBatchInto(seqs, sc)
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(elapsed.Seconds()*1e6/float64(b.N*batch), "µs/seq")
 }
 
 // stepAllocPlatform builds a platform with the full intervention stack

@@ -126,12 +126,16 @@ func (p *Platform) egoOutOfOwnLane(d float64) bool {
 	return math.Abs(d) > p.road.LaneWidth()/2
 }
 
-// finalize fills run-level summary fields.
+// finalize fills run-level summary fields and releases the run's ML
+// batch-group membership so hub peers stop waiting for it.
 func (p *Platform) finalize() {
 	p.finished = true
 	p.outcome.Steps = p.step
 	p.outcome.Duration = p.world.Time()
 	if p.followCount > 0 {
 		p.outcome.FollowingDistance = p.followSum / float64(p.followCount)
+	}
+	if p.mit != nil {
+		p.mit.EndRun()
 	}
 }

@@ -56,6 +56,12 @@ type InterventionSet struct {
 	// trained network with mlmit dimensions.
 	ML    bool        `json:"ml,omitempty"`
 	MLNet *nn.Network `json:"-"`
+	// MLHub, when non-nil, batches this run's LSTM inference with other
+	// in-process runs sharing the network (see mlmit.Hub). Batched and
+	// solo predictions are bit-identical, so the hub never changes a
+	// run's outputs. Like MLNet it is injected by the executing process
+	// and excluded from the wire format.
+	MLHub *mlmit.Hub `json:"-"`
 	// MLConfig overrides the Algorithm 1 parameters (nil = defaults).
 	MLConfig *mlmit.Config `json:"ml_config,omitempty"`
 	// Monitor enables the rule-based runtime anomaly monitor (an

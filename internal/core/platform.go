@@ -258,6 +258,7 @@ func (p *Platform) init(opts Options) error {
 		if err != nil {
 			return err
 		}
+		p.mit.AttachHub(opts.Interventions.MLHub)
 	} else {
 		p.mit = nil
 	}

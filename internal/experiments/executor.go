@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"adasim/internal/core"
+	"adasim/internal/mlmit"
 	"adasim/internal/scenario"
 )
 
@@ -66,14 +67,22 @@ type RunRequest struct {
 // A Pool is not safe for concurrent Execute calls.
 type Pool struct {
 	runners []Runner
+	mlHub   *mlmit.Hub
 }
 
 // NewPool sizes a pool at parallelism Runners (GOMAXPROCS when <= 0).
+// The pool owns an ML inference hub sized to the worker count, so
+// ML-enabled runs executing concurrently on its Runners batch their
+// LSTM predictions into fused float32 GEMMs (batched and solo outputs
+// are bit-identical, so results are unchanged).
 func NewPool(parallelism int) *Pool {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{runners: make([]Runner, parallelism)}
+	return &Pool{
+		runners: make([]Runner, parallelism),
+		mlHub:   mlmit.NewHub(parallelism, 0),
+	}
 }
 
 // Execute runs the batch over the pool's Runners. Results land at the
@@ -94,6 +103,9 @@ func (p *Pool) Execute(reqs []RunRequest, onDone func(i int, ro RunOutcome)) ([]
 			defer wg.Done()
 			for i := range idx {
 				req := reqs[i]
+				if req.Opts.Interventions.ML && req.Opts.Interventions.MLHub == nil {
+					req.Opts.Interventions.MLHub = p.mlHub
+				}
 				res, err := r.Do(req.Opts)
 				if err != nil {
 					errs[i] = fmt.Errorf("run %v/%v/%d: %w",

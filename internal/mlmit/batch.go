@@ -1,0 +1,217 @@
+package mlmit
+
+import (
+	"sync"
+	"time"
+
+	"adasim/internal/nn"
+)
+
+// Hub batches LSTM inference across concurrently executing runs in one
+// process. Mitigators sharing a network form a group; each control
+// cycle a member submits its feature window and blocks until the
+// group's leader executes one fused nn.PredictBatchInto for every
+// pending member. Because batched and solo outputs are bit-identical
+// (the nn determinism contract), batching policy — who flushes, how
+// many ride along, timer timing — affects only throughput, never a
+// run's results: same-seed byte identity of campaign outputs holds for
+// any batch composition.
+//
+// Flush policy: a batch executes as soon as every active member has
+// submitted (the steady state: members predict in near-lockstep, so
+// this is the common path), when it reaches the hub's batch capacity,
+// or after a bounded wait — so one member busy elsewhere (warmup,
+// finishing its run) delays peers by at most MaxWait.
+type Hub struct {
+	maxBatch int
+	maxWait  time.Duration
+
+	// observe, when set, is invoked after every batched inference with
+	// the batch size and kernel duration. Set it before the first run;
+	// it is read without synchronisation afterwards.
+	observe func(batch int, d time.Duration)
+
+	mu     sync.Mutex
+	groups map[*nn.Network]*hubGroup
+}
+
+// DefaultMaxWait bounds how long a pending prediction waits for
+// straggler members before executing a partial batch. One batched
+// inference of the paper-sized network is ~1ms, so 200µs adds little
+// latency while letting near-lockstep members coalesce.
+const DefaultMaxWait = 200 * time.Microsecond
+
+// NewHub builds a batcher coalescing up to maxBatch concurrent
+// predictions (typically the worker count). maxWait <= 0 selects
+// DefaultMaxWait.
+func NewHub(maxBatch int, maxWait time.Duration) *Hub {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultMaxWait
+	}
+	return &Hub{
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		groups:   make(map[*nn.Network]*hubGroup),
+	}
+}
+
+// MaxBatch returns the batch capacity.
+func (h *Hub) MaxBatch() int { return h.maxBatch }
+
+// SetObserver registers the per-batch metrics callback. Call before
+// any runs execute.
+func (h *Hub) SetObserver(f func(batch int, d time.Duration)) { h.observe = f }
+
+// enter joins the calling Mitigator to the network's group, creating
+// it on first use, and returns the group. The shared scratch is
+// (re)projected if the network weights moved since the last batch.
+func (h *Hub) enter(net *nn.Network) *hubGroup {
+	h.mu.Lock()
+	g := h.groups[net]
+	if g == nil {
+		g = &hubGroup{hub: h, net: net}
+		h.groups[net] = g
+	}
+	h.mu.Unlock()
+	g.mu.Lock()
+	g.active++
+	g.mu.Unlock()
+	g.ensureScratch()
+	return g
+}
+
+// hubGroup is the per-network batching state.
+type hubGroup struct {
+	hub *Hub
+	net *nn.Network
+
+	// execMu serialises use of the shared inference scratch.
+	execMu  sync.Mutex
+	scratch *nn.InferScratch32
+	ver     uint64
+	seqBuf  [][][]float32
+
+	mu      sync.Mutex
+	active  int // members currently inside a run
+	pending []hubReq
+	free    [][]hubReq // recycled batch buffers
+	gen     uint64     // increments per flush; stales old timers
+	timer   *time.Timer
+}
+
+// hubReq is one member's pending prediction: its feature window, the
+// buffer the scaled outputs land in, and its completion signal.
+type hubReq struct {
+	seq  [][]float32
+	out  []float32
+	done chan struct{}
+}
+
+func (g *hubGroup) ensureScratch() {
+	g.execMu.Lock()
+	defer g.execMu.Unlock()
+	if g.scratch == nil {
+		g.scratch = g.net.NewInferScratch32(g.hub.maxBatch)
+		g.ver = g.net.Version()
+	} else if v := g.net.Version(); v != g.ver {
+		g.scratch.Refresh(g.net)
+		g.ver = v
+	}
+}
+
+// predict submits one window and blocks until its outputs are in out.
+// The caller's seq rows must stay untouched until predict returns.
+func (g *hubGroup) predict(seq [][]float32, out []float32, done chan struct{}) {
+	g.mu.Lock()
+	g.pending = append(g.pending, hubReq{seq: seq, out: out, done: done})
+	if len(g.pending) >= g.active || len(g.pending) >= g.hub.maxBatch {
+		batch := g.takeLocked()
+		g.mu.Unlock()
+		g.exec(batch)
+		<-done // drain our own completion token
+		return
+	}
+	if len(g.pending) == 1 {
+		gen := g.gen
+		g.timer = time.AfterFunc(g.hub.maxWait, func() { g.timerFlush(gen) })
+	}
+	g.mu.Unlock()
+	<-done
+}
+
+// takeLocked claims the pending batch for execution. Caller holds g.mu.
+func (g *hubGroup) takeLocked() []hubReq {
+	batch := g.pending
+	g.gen++
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+	if n := len(g.free); n > 0 {
+		g.pending = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		g.pending = make([]hubReq, 0, g.hub.maxBatch)
+	}
+	return batch
+}
+
+func (g *hubGroup) timerFlush(gen uint64) {
+	g.mu.Lock()
+	if g.gen != gen || len(g.pending) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	batch := g.takeLocked()
+	g.mu.Unlock()
+	g.exec(batch)
+}
+
+// leave removes one member; if the remaining pending requests now form
+// a complete batch, it flushes them so nobody waits out the timer.
+func (g *hubGroup) leave() {
+	g.mu.Lock()
+	if g.active > 0 {
+		g.active--
+	}
+	var batch []hubReq
+	if len(g.pending) > 0 && len(g.pending) >= g.active {
+		batch = g.takeLocked()
+	}
+	g.mu.Unlock()
+	if batch != nil {
+		g.exec(batch)
+	}
+}
+
+// exec runs one fused inference for the batch and signals every member.
+func (g *hubGroup) exec(batch []hubReq) {
+	g.execMu.Lock()
+	obs := g.hub.observe
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	seqs := g.seqBuf[:0]
+	for _, r := range batch {
+		seqs = append(seqs, r.seq)
+	}
+	g.seqBuf = seqs
+	rows := g.net.PredictBatchInto(seqs, g.scratch)
+	for i, r := range batch {
+		copy(r.out, rows[i])
+	}
+	g.execMu.Unlock()
+	if obs != nil {
+		obs(len(batch), time.Since(start))
+	}
+	for _, r := range batch {
+		r.done <- struct{}{}
+	}
+	g.mu.Lock()
+	g.free = append(g.free, batch[:0])
+	g.mu.Unlock()
+}

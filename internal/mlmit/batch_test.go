@@ -1,0 +1,302 @@
+package mlmit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adasim/internal/nn"
+	"adasim/internal/vehicle"
+)
+
+// runSteps drives a mitigator through n deterministic steps (offset
+// decorrelates the per-member frame streams) and returns the executed
+// commands and active flags.
+func runSteps(m *Mitigator, n, offset int) ([]vehicle.Command, []bool) {
+	cmds := make([]vehicle.Command, n)
+	actives := make([]bool, n)
+	for i := 0; i < n; i++ {
+		yOP := vehicle.Command{Accel: 1.5, Curvature: 0.002}
+		cmds[i], actives[i] = m.Update(float64(i)*0.01, varyingFrame(i+offset), yOP)
+	}
+	return cmds, actives
+}
+
+// TestHubMatchesSolo pins the core batching contract: a mitigator
+// routed through a hub produces bit-identical outputs to one running
+// the solo float32 path, step for step.
+func TestHubMatchesSolo(t *testing.T) {
+	net := tinyNet(t)
+	cfg := Config{Threshold: 0.5, Bias: 0.1}
+
+	solo, err := New(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubbed, err := New(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubbed.AttachHub(NewHub(4, 0))
+
+	const steps = 300
+	wantCmds, wantActive := runSteps(solo, steps, 0)
+	gotCmds, gotActive := runSteps(hubbed, steps, 0)
+	for i := range wantCmds {
+		if wantCmds[i] != gotCmds[i] || wantActive[i] != gotActive[i] {
+			t.Fatalf("step %d: hub (%v,%v) != solo (%v,%v)",
+				i, gotCmds[i], gotActive[i], wantCmds[i], wantActive[i])
+		}
+	}
+	hubbed.EndRun()
+}
+
+// stepBarrier is a cyclic barrier that keeps the concurrent test's
+// members in per-step lockstep. Without it, a tiny network on a
+// single-core box lets each goroutine finish its whole run inside one
+// scheduling quantum and nothing ever coalesces.
+type stepBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newStepBarrier(n int) *stepBarrier {
+	b := &stepBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *stepBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// TestHubConcurrentMembersMatchSolo runs several mitigators through one
+// hub concurrently — so predictions actually coalesce into fused
+// batches — and checks every member's command stream is bit-identical
+// to its solo reference. This is the same-seed byte-identity guarantee
+// the service relies on: batch composition is timing-dependent, results
+// must not be.
+func TestHubConcurrentMembersMatchSolo(t *testing.T) {
+	net := tinyNet(t)
+	cfg := Config{Threshold: 0.5, Bias: 0.1}
+	const members = 4
+	const steps = 400
+
+	// Solo references, one frame stream per member.
+	want := make([][]vehicle.Command, members)
+	for w := 0; w < members; w++ {
+		m, err := New(cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[w], _ = runSteps(m, steps, w*1000)
+	}
+
+	hub := NewHub(members, 5*time.Millisecond)
+	var obsMu sync.Mutex
+	var batches []int
+	hub.SetObserver(func(batch int, d time.Duration) {
+		obsMu.Lock()
+		batches = append(batches, batch)
+		obsMu.Unlock()
+	})
+
+	got := make([][]vehicle.Command, members)
+	bar := newStepBarrier(members)
+	var wg sync.WaitGroup
+	for w := 0; w < members; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m, err := New(cfg, net)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.AttachHub(hub)
+			cmds := make([]vehicle.Command, steps)
+			for i := 0; i < steps; i++ {
+				bar.wait()
+				yOP := vehicle.Command{Accel: 1.5, Curvature: 0.002}
+				cmds[i], _ = m.Update(float64(i)*0.01, varyingFrame(i+w*1000), yOP)
+			}
+			got[w] = cmds
+			m.EndRun()
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range want {
+		for i := range want[w] {
+			if want[w][i] != got[w][i] {
+				t.Fatalf("member %d step %d: hub %v != solo %v",
+					w, i, got[w][i], want[w][i])
+			}
+		}
+	}
+
+	// Observer accounting: every prediction rode exactly one batch.
+	total, maxB := 0, 0
+	for _, b := range batches {
+		total += b
+		if b > maxB {
+			maxB = b
+		}
+	}
+	wantPred := members * (steps - HistorySteps + 1)
+	if total != wantPred {
+		t.Errorf("observer saw %d predictions, want %d", total, wantPred)
+	}
+	if maxB > members {
+		t.Errorf("batch of %d exceeds member count %d", maxB, members)
+	}
+	if maxB < 2 {
+		t.Errorf("no batching happened (max batch %d); members should coalesce", maxB)
+	}
+}
+
+// TestHubTimerFlushBoundsWait proves a straggling peer delays a pending
+// prediction by at most the hub's maxWait: with two active members and
+// only one submitting, the timer must flush the partial batch.
+func TestHubTimerFlushBoundsWait(t *testing.T) {
+	net := tinyNet(t)
+	hub := NewHub(4, 10*time.Millisecond)
+	g := hub.enter(net)
+	hub.enter(net) // straggler: active, never submits
+
+	seq := make([][]float32, HistorySteps)
+	for i := range seq {
+		row := make([]float32, FeatureDim)
+		varyingFrame(i).VectorInto32(row)
+		seq[i] = row
+	}
+	out := make([]float32, OutputDim)
+	done := make(chan struct{}, 1)
+
+	finished := make(chan struct{})
+	go func() {
+		g.predict(seq, out, done)
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("predict never returned; timer flush did not fire")
+	}
+
+	// The partial batch of one must still be bit-identical to solo.
+	sc := net.NewInferScratch32(1)
+	want := net.PredictInto32(seq, sc)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+// TestHubLeaveFlushesPending proves a member finishing its run releases
+// waiting peers immediately: with the timer effectively disabled, the
+// only thing that can flush the pending request is the leave itself.
+func TestHubLeaveFlushesPending(t *testing.T) {
+	net := tinyNet(t)
+	hub := NewHub(4, time.Hour) // timer will never save us
+	g := hub.enter(net)
+	hub.enter(net) // second member; leaves instead of submitting
+
+	seq := make([][]float32, HistorySteps)
+	for i := range seq {
+		row := make([]float32, FeatureDim)
+		varyingFrame(i).VectorInto32(row)
+		seq[i] = row
+	}
+	out := make([]float32, OutputDim)
+	done := make(chan struct{}, 1)
+
+	finished := make(chan struct{})
+	go func() {
+		g.predict(seq, out, done)
+		close(finished)
+	}()
+	// Give the predictor time to enqueue, then retire the straggler.
+	time.Sleep(20 * time.Millisecond)
+	g.leave()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("predict never returned; leave did not flush")
+	}
+}
+
+// TestHubRefreshAfterRetraining checks the shared scratch re-projects
+// when the network weights move between runs.
+func TestHubRefreshAfterRetraining(t *testing.T) {
+	net := tinyNet(t)
+	cfg := Config{Threshold: 0.5, Bias: 0.1}
+	hub := NewHub(2, 0)
+
+	m, err := New(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachHub(hub)
+	runSteps(m, 50, 0)
+	m.EndRun()
+
+	// Move the weights; a new run through the hub must see them.
+	seq := make([][]float64, HistorySteps)
+	for i := range seq {
+		seq[i] = varyingFrame(i).Vector()
+	}
+	opt := nn.NewAdam(net.Params(), 0.05)
+	net.TrainBatch([]nn.Sample{{Seq: seq, Target: []float64{0.5, -0.25}}}, opt)
+
+	if err := m.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	solo, err := New(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCmds, _ := runSteps(solo, 100, 7)
+	gotCmds, _ := runSteps(m, 100, 7)
+	for i := range wantCmds {
+		if wantCmds[i] != gotCmds[i] {
+			t.Fatalf("step %d after retrain: hub %v != solo %v", i, gotCmds[i], wantCmds[i])
+		}
+	}
+	m.EndRun()
+}
+
+// TestEndRunIdempotent ensures repeated EndRun calls (finalize plus
+// AttachHub on the next run) are harmless.
+func TestEndRunIdempotent(t *testing.T) {
+	net := tinyNet(t)
+	m, err := New(Config{Threshold: 0.5, Bias: 0.1}, tinyNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net
+	hub := NewHub(2, 0)
+	m.AttachHub(hub)
+	runSteps(m, 50, 0)
+	m.EndRun()
+	m.EndRun()
+	m.AttachHub(hub) // also calls EndRun internally
+	runSteps(m, 50, 0)
+	m.EndRun()
+}

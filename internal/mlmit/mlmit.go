@@ -59,6 +59,18 @@ func (f Frame) VectorInto(dst []float64) {
 	dst[5] = f.PrevCurvature / featureScale[5]
 }
 
+// VectorInto32 writes the scaled feature vector as float32 — the input
+// form of the batched inference path. Scaling happens in float64 and
+// rounds once, so the float32 features are a pure function of the frame.
+func (f Frame) VectorInto32(dst []float32) {
+	dst[0] = float32(f.EgoSpeed / featureScale[0])
+	dst[1] = float32(f.LeadDistance / featureScale[1])
+	dst[2] = float32(f.LaneLineLeft / featureScale[2])
+	dst[3] = float32(f.LaneLineRight / featureScale[3])
+	dst[4] = float32(f.PrevAccel / featureScale[4])
+	dst[5] = float32(f.PrevCurvature / featureScale[5])
+}
+
 // ScaleTarget converts a command into the scaled regression target.
 func ScaleTarget(cmd vehicle.Command) []float64 {
 	return []float64{cmd.Accel / outputScale[0], cmd.Curvature / outputScale[1]}
@@ -69,6 +81,15 @@ func UnscaleOutput(out []float64) vehicle.Command {
 	return vehicle.Command{
 		Accel:     out[0] * outputScale[0],
 		Curvature: out[1] * outputScale[1],
+	}
+}
+
+// UnscaleOutput32 converts a scaled float32 model output back into a
+// command, widening before the unscale multiply.
+func UnscaleOutput32(out []float32) vehicle.Command {
+	return vehicle.Command{
+		Accel:     float64(out[0]) * outputScale[0],
+		Curvature: float64(out[1]) * outputScale[1],
 	}
 }
 
@@ -97,7 +118,11 @@ func (c Config) Validate() error {
 
 // Mitigator is a stateful Algorithm 1 instance. It owns preallocated
 // history and inference scratch buffers, so Update performs zero heap
-// allocations in steady state.
+// allocations in steady state. Predictions run on the batched float32
+// inference path: solo through its own batch-of-one scratch, or — when
+// a Hub is attached — batched with other in-process runs sharing the
+// network. The two are bit-identical (see nn.PredictBatchInto), so
+// attaching a Hub never changes a run's outputs.
 type Mitigator struct {
 	cfg Config
 	net *nn.Network
@@ -105,12 +130,18 @@ type Mitigator struct {
 	// hist is a ring of the last HistorySteps scaled feature vectors
 	// (histRows are reused row views into one flat backing array); seq is
 	// the window reassembled oldest-first for each prediction.
-	histRows [HistorySteps][]float64
-	seq      [HistorySteps][]float64
+	histRows [HistorySteps][]float32
+	seq      [HistorySteps][]float32
 	head     int // next ring slot to overwrite
 	count    int // frames recorded, saturating at HistorySteps
 
-	scratch *nn.InferScratch
+	scratch *nn.InferScratch32
+
+	hub     *Hub
+	group   *hubGroup
+	entered bool
+	out     []float32     // hub prediction result buffer
+	done    chan struct{} // hub completion signal, reused every step
 
 	s        float64 // accumulated error S(t)
 	recovery bool
@@ -128,12 +159,38 @@ func New(cfg Config, net *nn.Network) (*Mitigator, error) {
 	if net == nil {
 		return nil, fmt.Errorf("mlmit: network is required")
 	}
-	m := &Mitigator{cfg: cfg, net: net, scratch: net.NewInferScratch(), firstRecoveryAt: -1}
-	flat := make([]float64, HistorySteps*FeatureDim)
+	m := &Mitigator{
+		cfg:             cfg,
+		net:             net,
+		scratch:         net.NewInferScratch32(1),
+		out:             make([]float32, OutputDim),
+		done:            make(chan struct{}, 1),
+		firstRecoveryAt: -1,
+	}
+	flat := make([]float32, HistorySteps*FeatureDim)
 	for i := range m.histRows {
 		m.histRows[i] = flat[i*FeatureDim : (i+1)*FeatureDim]
 	}
 	return m, nil
+}
+
+// AttachHub points the Mitigator at a shared inference batcher (nil
+// detaches). Call between runs, not mid-run.
+func (m *Mitigator) AttachHub(h *Hub) {
+	m.EndRun()
+	m.hub = h
+}
+
+// EndRun releases the Mitigator's batch-group membership so peers stop
+// waiting for it. The platform calls it when a run finalizes; it is
+// idempotent and a no-op without a hub.
+func (m *Mitigator) EndRun() {
+	if m.entered {
+		m.entered = false
+		g := m.group
+		m.group = nil
+		g.leave()
+	}
 }
 
 // Net returns the wrapped network.
@@ -149,6 +206,7 @@ func (m *Mitigator) Reset(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	m.EndRun()
 	m.cfg = cfg
 	m.scratch.Refresh(m.net)
 	m.head = 0
@@ -179,7 +237,7 @@ func (m *Mitigator) RecoverySteps() int { return m.recoverySteps }
 // fault-free sensor input, yOP the OpenPilot controller output. It
 // returns the command to execute and whether the ML output was selected.
 func (m *Mitigator) Update(t float64, frame Frame, yOP vehicle.Command) (vehicle.Command, bool) {
-	frame.VectorInto(m.histRows[m.head])
+	frame.VectorInto32(m.histRows[m.head])
 	m.head = (m.head + 1) % HistorySteps
 	if m.count < HistorySteps {
 		m.count++
@@ -193,7 +251,18 @@ func (m *Mitigator) Update(t float64, frame Frame, yOP vehicle.Command) (vehicle
 		m.seq[i] = m.histRows[(m.head+i)%HistorySteps]
 	}
 
-	yML := UnscaleOutput(m.net.PredictInto(m.seq[:], m.scratch))
+	var out []float32
+	if m.hub != nil {
+		if !m.entered {
+			m.group = m.hub.enter(m.net)
+			m.entered = true
+		}
+		m.group.predict(m.seq[:], m.out, m.done)
+		out = m.out
+	} else {
+		out = m.net.PredictInto32(m.seq[:], m.scratch)
+	}
+	yML := UnscaleOutput32(out)
 	delta := m.delta(yML, yOP)
 
 	// S(t+1) = max(0, S(t) + delta - b), kept non-negative.

@@ -1,0 +1,51 @@
+//go:build amd64
+
+package nn
+
+// Assembly kernels (gemm32_amd64.s). All pointers reference slices the
+// Go wrappers have already bounds-checked; n is the element count.
+
+//go:noescape
+func axpy4AVX2(z, w0, w1, w2, w3, a *float32, n int)
+
+//go:noescape
+func axpy1AVX2(z, w *float32, a float32, n int)
+
+// vtanhAVX2 requires n to be a positive multiple of 8; the wrapper
+// handles the scalar tail.
+//
+//go:noescape
+func vtanhAVX2(dst, src *float32, k2 float32, n int)
+
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// useAsmGemm gates the assembly kernels on AVX2 + FMA with OS-enabled
+// YMM state. Decided once at init so kernel selection — and therefore
+// rounding — is constant for the life of the process.
+var useAsmGemm = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	// XCR0 bits 1-2: OS saves XMM and YMM state on context switch.
+	xeax, _ := xgetbv0()
+	if xeax&0x6 != 0x6 {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,242 @@
+// AVX2+FMA kernels for the float32 batched inference path. Callers in
+// gemm32.go gate every entry point on runtime CPUID detection and fall
+// back to pure Go, so nothing here executes on CPUs without AVX2, FMA,
+// and OS YMM support.
+
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpy4AVX2(z, w0, w1, w2, w3, a *float32, n int)
+//
+// z[i] += a[0]*w0[i] + a[1]*w1[i] + a[2]*w2[i] + a[3]*w3[i] for
+// i in [0, n). Each element is four sequential FMAs, matching the
+// accumulation order of axpy4Generic.
+TEXT ·axpy4AVX2(SB), NOSPLIT, $0-56
+	MOVQ z+0(FP), DI
+	MOVQ w0+8(FP), SI
+	MOVQ w1+16(FP), DX
+	MOVQ w2+24(FP), CX
+	MOVQ w3+32(FP), R8
+	MOVQ a+40(FP), R9
+	MOVQ n+48(FP), R10
+	VBROADCASTSS (R9), Y0
+	VBROADCASTSS 4(R9), Y1
+	VBROADCASTSS 8(R9), Y2
+	VBROADCASTSS 12(R9), Y3
+
+axpy4_loop32:
+	CMPQ R10, $32
+	JLT  axpy4_loop8
+	VMOVUPS (DI), Y4
+	VMOVUPS 32(DI), Y5
+	VMOVUPS 64(DI), Y6
+	VMOVUPS 96(DI), Y7
+	VFMADD231PS (SI), Y0, Y4
+	VFMADD231PS 32(SI), Y0, Y5
+	VFMADD231PS 64(SI), Y0, Y6
+	VFMADD231PS 96(SI), Y0, Y7
+	VFMADD231PS (DX), Y1, Y4
+	VFMADD231PS 32(DX), Y1, Y5
+	VFMADD231PS 64(DX), Y1, Y6
+	VFMADD231PS 96(DX), Y1, Y7
+	VFMADD231PS (CX), Y2, Y4
+	VFMADD231PS 32(CX), Y2, Y5
+	VFMADD231PS 64(CX), Y2, Y6
+	VFMADD231PS 96(CX), Y2, Y7
+	VFMADD231PS (R8), Y3, Y4
+	VFMADD231PS 32(R8), Y3, Y5
+	VFMADD231PS 64(R8), Y3, Y6
+	VFMADD231PS 96(R8), Y3, Y7
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	VMOVUPS Y6, 64(DI)
+	VMOVUPS Y7, 96(DI)
+	ADDQ $128, DI
+	ADDQ $128, SI
+	ADDQ $128, DX
+	ADDQ $128, CX
+	ADDQ $128, R8
+	SUBQ $32, R10
+	JMP  axpy4_loop32
+
+axpy4_loop8:
+	CMPQ R10, $8
+	JLT  axpy4_tail
+	VMOVUPS (DI), Y4
+	VFMADD231PS (SI), Y0, Y4
+	VFMADD231PS (DX), Y1, Y4
+	VFMADD231PS (CX), Y2, Y4
+	VFMADD231PS (R8), Y3, Y4
+	VMOVUPS Y4, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, CX
+	ADDQ $32, R8
+	SUBQ $8, R10
+	JMP  axpy4_loop8
+
+axpy4_tail:
+	TESTQ R10, R10
+	JLE   axpy4_done
+
+axpy4_tailloop:
+	VMOVSS (DI), X4
+	VFMADD231SS (SI), X0, X4
+	VFMADD231SS (DX), X1, X4
+	VFMADD231SS (CX), X2, X4
+	VFMADD231SS (R8), X3, X4
+	VMOVSS X4, (DI)
+	ADDQ $4, DI
+	ADDQ $4, SI
+	ADDQ $4, DX
+	ADDQ $4, CX
+	ADDQ $4, R8
+	DECQ R10
+	JNZ  axpy4_tailloop
+
+axpy4_done:
+	VZEROUPPER
+	RET
+
+// func axpy1AVX2(z, w *float32, a float32, n int)
+//
+// z[i] += a*w[i] for i in [0, n).
+TEXT ·axpy1AVX2(SB), NOSPLIT, $0-32
+	MOVQ z+0(FP), DI
+	MOVQ w+8(FP), SI
+	MOVQ n+24(FP), R10
+	VBROADCASTSS a+16(FP), Y0
+
+axpy1_loop32:
+	CMPQ R10, $32
+	JLT  axpy1_loop8
+	VMOVUPS (DI), Y4
+	VMOVUPS 32(DI), Y5
+	VMOVUPS 64(DI), Y6
+	VMOVUPS 96(DI), Y7
+	VFMADD231PS (SI), Y0, Y4
+	VFMADD231PS 32(SI), Y0, Y5
+	VFMADD231PS 64(SI), Y0, Y6
+	VFMADD231PS 96(SI), Y0, Y7
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	VMOVUPS Y6, 64(DI)
+	VMOVUPS Y7, 96(DI)
+	ADDQ $128, DI
+	ADDQ $128, SI
+	SUBQ $32, R10
+	JMP  axpy1_loop32
+
+axpy1_loop8:
+	CMPQ R10, $8
+	JLT  axpy1_tail
+	VMOVUPS (DI), Y4
+	VFMADD231PS (SI), Y0, Y4
+	VMOVUPS Y4, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, R10
+	JMP  axpy1_loop8
+
+axpy1_tail:
+	TESTQ R10, R10
+	JLE   axpy1_done
+
+axpy1_tailloop:
+	VMOVSS (DI), X4
+	VFMADD231SS (SI), X0, X4
+	VMOVSS X4, (DI)
+	ADDQ $4, DI
+	ADDQ $4, SI
+	DECQ R10
+	JNZ  axpy1_tailloop
+
+axpy1_done:
+	VZEROUPPER
+	RET
+
+// Broadcast constants for vtanhAVX2, in the order loaded below:
+// |x| mask, y clamp (20*log2(e)), exp2 minimax c0..c5, 1.0, 2.0.
+DATA ·tanhConsts+0(SB)/4, $0x7FFFFFFF
+DATA ·tanhConsts+4(SB)/4, $0x41E6D4CA
+DATA ·tanhConsts+8(SB)/4, $0x3F800000
+DATA ·tanhConsts+12(SB)/4, $0x3F31727B
+DATA ·tanhConsts+16(SB)/4, $0x3E75EAD4
+DATA ·tanhConsts+20(SB)/4, $0x3D64AA23
+DATA ·tanhConsts+24(SB)/4, $0x3C134806
+DATA ·tanhConsts+28(SB)/4, $0x3AF61905
+DATA ·tanhConsts+32(SB)/4, $0x3F800000
+DATA ·tanhConsts+36(SB)/4, $0x40000000
+GLOBL ·tanhConsts(SB), RODATA|NOPTR, $40
+
+// func vtanhAVX2(dst, src *float32, k2 float32, n int)
+//
+// dst[i] = tanh(scale*src[i]) where k2 = scale*2*log2(e); n must be a
+// positive multiple of 8. Same algorithm as tanhPoly32: t = sign *
+// (1 - 2/(exp2(min(|x|*k2, clamp)) + 1)) with exp2 = 2^floor(y) *
+// poly5(y - floor(y)).
+TEXT ·vtanhAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+24(FP), R10
+	LEAQ ·tanhConsts(SB), AX
+	VBROADCASTSS 0(AX), Y15       // |x| mask
+	VBROADCASTSS 4(AX), Y8        // y clamp
+	VBROADCASTSS 8(AX), Y9        // c0
+	VBROADCASTSS 12(AX), Y10      // c1
+	VBROADCASTSS 16(AX), Y11      // c2
+	VBROADCASTSS 20(AX), Y12      // c3
+	VBROADCASTSS 24(AX), Y13      // c4
+	VBROADCASTSS 28(AX), Y14      // c5
+	VBROADCASTSS 32(AX), Y6       // 1.0
+	VBROADCASTSS 36(AX), Y5       // 2.0
+	VBROADCASTSS k2+16(FP), Y7    // scale*2*log2(e)
+
+vtanh_loop:
+	VMOVUPS (SI), Y0              // x
+	VANDNPS Y0, Y15, Y1           // sign bits of x
+	VANDPS  Y15, Y0, Y0           // |x|
+	VMULPS  Y7, Y0, Y2            // y = |x|*k2  (>= 0)
+	VMINPS  Y8, Y2, Y2            // clamp to tanh saturation
+	VROUNDPS $1, Y2, Y3           // k = floor(y)
+	VSUBPS  Y3, Y2, Y2            // r = y - k, in [0, 1)
+	VMOVAPS Y14, Y0               // p = c5
+	VFMADD132PS Y2, Y13, Y0       // p = p*r + c4
+	VFMADD132PS Y2, Y12, Y0       // p = p*r + c3
+	VFMADD132PS Y2, Y11, Y0       // p = p*r + c2
+	VFMADD132PS Y2, Y10, Y0       // p = p*r + c1
+	VFMADD132PS Y2, Y9, Y0        // p = p*r + c0 = 2^r
+	VCVTPS2DQ Y3, Y3              // k as int32 (exact)
+	VPSLLD  $23, Y3, Y3
+	VPADDD  Y3, Y0, Y0            // E = p * 2^k via exponent bits
+	VADDPS  Y6, Y0, Y2            // D = E + 1
+	VDIVPS  Y2, Y5, Y2            // Q = 2/D
+	VSUBPS  Y2, Y6, Y0            // t = 1 - Q = tanh(|scale*x|)
+	VORPS   Y1, Y0, Y0            // restore sign
+	VMOVUPS Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	SUBQ $8, R10
+	JNZ  vtanh_loop
+
+	VZEROUPPER
+	RET

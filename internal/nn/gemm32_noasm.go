@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds always take the pure-Go kernels; the stubs below
+// exist only so the wrappers compile and are unreachable behind the
+// constant-false gate.
+
+const useAsmGemm = false
+
+func axpy4AVX2(z, w0, w1, w2, w3, a *float32, n int) { panic("nn: no asm kernel") }
+
+func axpy1AVX2(z, w *float32, a float32, n int) { panic("nn: no asm kernel") }
+
+func vtanhAVX2(dst, src *float32, k2 float32, n int) { panic("nn: no asm kernel") }

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAxpyKernelsMatchGeneric cross-checks the selected axpy kernels
+// (assembly on AVX2 machines) against the pure-Go reference on sizes
+// covering the unrolled bodies and every tail length. FMA fuses the
+// multiply-add rounding, so agreement is to a few ulps, not bit-exact.
+func TestAxpyKernelsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 3, 7, 8, 9, 15, 16, 31, 32, 33, 40, 63, 64, 100, 256, 511}
+	fill := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		return v
+	}
+	for _, n := range sizes {
+		w0, w1, w2, w3 := fill(n), fill(n), fill(n), fill(n)
+		a := [4]float32{float32(rng.NormFloat64()), float32(rng.NormFloat64()), float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+		zSel := fill(n)
+		zRef := append([]float32(nil), zSel...)
+
+		axpy432(zSel, w0, w1, w2, w3, &a)
+		axpy4Generic(zRef, w0, w1, w2, w3, &a)
+		for i := range zSel {
+			if d := math.Abs(float64(zSel[i] - zRef[i])); d > 1e-5 {
+				t.Fatalf("axpy432 n=%d i=%d: selected %v generic %v", n, i, zSel[i], zRef[i])
+			}
+		}
+
+		zSel = fill(n)
+		zRef = append([]float32(nil), zSel...)
+		axpy132(zSel, w0, a[0])
+		axpy1Generic(zRef, w0, a[0])
+		for i := range zSel {
+			if d := math.Abs(float64(zSel[i] - zRef[i])); d > 1e-5 {
+				t.Fatalf("axpy132 n=%d i=%d: selected %v generic %v", n, i, zSel[i], zRef[i])
+			}
+		}
+	}
+}
+
+// TestVtanh32Accuracy pins the polynomial tanh against math.Tanh for
+// both gate scales across the full input range, including the saturated
+// regions and the small-|x| regime where the CUSUM deltas live. The
+// 1e-6 absolute bound (a handful of float32 ulps accumulated through
+// the range reduction and polynomial) is 10x tighter than the float32
+// path's 1e-5 output contract.
+func TestVtanh32Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := []float32{0, 1e-8, -1e-8, 1e-4, -1e-4, 0.1, -0.1, 0.5, -0.5, 1, -1,
+		2.5, -2.5, 5, -5, 8, -8, 9.5, -9.5, 15, -15, 50, -50, 1000, -1000}
+	for i := 0; i < 500; i++ {
+		xs = append(xs, float32(rng.NormFloat64()*3))
+	}
+	for _, scale := range []float32{1.0, 0.5} {
+		src := append([]float32(nil), xs...)
+		dst := make([]float32, len(src))
+		vtanh32(dst, src, scale)
+		for i, x := range src {
+			want := math.Tanh(float64(scale) * float64(x))
+			if d := math.Abs(float64(dst[i]) - want); d > 1e-6 {
+				t.Fatalf("vtanh32(scale=%v) x=%v: got %v want %v (err %g)", scale, x, dst[i], want, d)
+			}
+		}
+	}
+}
+
+// TestVtanh32TailMatchesScalar checks the vector/scalar split inside
+// vtanh32 agrees with an all-scalar evaluation to a few ulps for every
+// length around the 8-lane boundary.
+func TestVtanh32TailMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	k2 := float32(twoLog2E)
+	for n := 1; n <= 24; n++ {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64() * 2)
+		}
+		dst := make([]float32, n)
+		vtanh32(dst, src, 1.0)
+		for i := range src {
+			want := tanhPoly32(src[i], k2)
+			if d := math.Abs(float64(dst[i] - want)); d > 5e-7 {
+				t.Fatalf("n=%d i=%d: vector %v scalar %v", n, i, dst[i], want)
+			}
+		}
+	}
+}

@@ -29,6 +29,10 @@ type LSTMScratch struct {
 	z   []float64 // (4H) pre-activations
 	wxT []float64 // (In x 4H) Wx transposed: wxT[j*4H+i] = Wx[i,j]
 	whT []float64 // (H x 4H) Wh transposed
+
+	// version is the layer weight version the transposed copies were
+	// taken at; StepInfer refuses to run against newer weights.
+	version uint64
 }
 
 // NewScratch allocates inference scratch sized for the layer, capturing
@@ -58,6 +62,18 @@ func (s *LSTMScratch) Refresh(l *LSTM) {
 		for j := 0; j < l.HiddenSize; j++ {
 			s.whT[j*H4+i] = l.Wh.Data[i*l.HiddenSize+j]
 		}
+	}
+	s.version = l.version
+}
+
+// checkVersion panics when the layer weights have moved past the
+// versions the scratch captured — predicting would silently use the
+// pre-retrain weights otherwise. scratchKind names the scratch type in
+// the message.
+func checkVersion(scratchKind string, scratchVer, layerVer uint64) {
+	if scratchVer != layerVer {
+		panic(fmt.Sprintf("nn: stale %s: weights at version %d, scratch captured version %d — call Refresh after (re)training",
+			scratchKind, layerVer, scratchVer))
 	}
 }
 
@@ -105,6 +121,7 @@ func (l *LSTM) StepInfer(x []float64, s *LSTMScratch) []float64 {
 	if len(x) != l.InSize {
 		panic(fmt.Sprintf("nn: LSTM input dim %d, want %d", len(x), l.InSize))
 	}
+	checkVersion("LSTMScratch", s.version, l.version)
 	H := l.HiddenSize
 	H4 := 4 * H
 	z := s.z[:H4]
@@ -162,8 +179,9 @@ func (d *Dense) ForwardInto(x, out []float64) []float64 {
 // inference. Obtain one from NewInferScratch and reuse it across calls;
 // it is not safe for concurrent use.
 type InferScratch struct {
-	layers []*LSTMScratch
-	out    []float64
+	layers  []*LSTMScratch
+	out     []float64
+	version uint64 // Network weight version at the last Refresh
 }
 
 // NewInferScratch allocates scratch sized for the network.
@@ -175,6 +193,7 @@ func (n *Network) NewInferScratch() *InferScratch {
 	for i, l := range n.lstms {
 		sc.layers[i] = l.NewScratch()
 	}
+	sc.version = n.version
 	return sc
 }
 
@@ -185,6 +204,7 @@ func (sc *InferScratch) Refresh(n *Network) {
 	for i, l := range n.lstms {
 		sc.layers[i].Refresh(l)
 	}
+	sc.version = n.version
 }
 
 // PredictInto is the allocation-free equivalent of Predict: it streams
@@ -198,6 +218,7 @@ func (n *Network) PredictInto(seq [][]float64, sc *InferScratch) []float64 {
 	if len(seq) == 0 {
 		panic("nn: PredictInto on empty sequence")
 	}
+	checkVersion("InferScratch", sc.version, n.version)
 	for i, l := range n.lstms {
 		l.BeginInfer(sc.layers[i])
 	}

@@ -21,7 +21,16 @@ type LSTM struct {
 	dB  []float64
 
 	caches []lstmCache
+
+	// version counts in-place weight mutations (optimiser steps). The
+	// inference scratches capture it at Refresh and the fast paths panic
+	// on a mismatch, so a stale scratch fails loudly instead of silently
+	// predicting with pre-retrain weights.
+	version uint64
 }
+
+// Version returns the layer's weight-version counter.
+func (l *LSTM) Version() uint64 { return l.version }
 
 type lstmCache struct {
 	x, hPrev, cPrev      []float64

@@ -64,6 +64,23 @@ func (a *Adam) Step() {
 type Network struct {
 	lstms []*LSTM
 	head  *Dense
+
+	// version counts in-place weight mutations; see LSTM.version.
+	version uint64
+}
+
+// Version returns the network's weight-version counter. It moves on
+// every TrainBatch; inference scratches record it at Refresh and refuse
+// to predict against newer weights.
+func (n *Network) Version() uint64 { return n.version }
+
+// bumpVersion marks the weights mutated, invalidating every inference
+// scratch that has not been Refreshed since.
+func (n *Network) bumpVersion() {
+	n.version++
+	for _, l := range n.lstms {
+		l.version++
+	}
 }
 
 // NewNetwork builds a network with the given input size, hidden layer
@@ -159,6 +176,7 @@ func (n *Network) TrainBatch(batch []Sample, opt *Adam) (float64, error) {
 		}
 	}
 	opt.Step()
+	n.bumpVersion()
 	return total / float64(len(batch)), nil
 }
 

@@ -66,9 +66,16 @@ type ResultCache struct {
 	met *cacheMetrics
 }
 
+// cacheEntry pairs the decoded outcome with its canonical JSON
+// encoding. Keys are content hashes, so the encoding is computed once
+// per key — on first Put or on disk promotion — and never again: warm
+// serves hand out the stored bytes instead of re-marshaling, and a
+// repeat Put of a resident key skips both the marshal and the disk
+// write.
 type cacheEntry struct {
 	key string
 	out metrics.Outcome
+	enc []byte
 }
 
 // NewResultCache builds a cache holding up to maxEntries outcomes in
@@ -115,9 +122,9 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 	}
 	c.mu.Unlock()
 
-	if out, ok := c.readDisk(key); ok {
+	if out, enc, ok := c.readDisk(key); ok {
 		c.mu.Lock()
-		c.insertLocked(key, out)
+		c.insertLocked(key, out, enc)
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		c.met.diskHits.Inc()
@@ -128,25 +135,88 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 	return metrics.Outcome{}, false
 }
 
+// Encoded returns the canonical JSON encoding of the outcome stored
+// under key, for serving verbatim (io.Copy via bytes.Reader) without a
+// re-marshal. The bytes are the cache's single encoding of the entry:
+// callers must not mutate them. Lookup semantics match Get (memory,
+// then disk, with LRU promotion and hit/miss accounting).
+func (c *ResultCache) Encoded(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		enc := el.Value.(*cacheEntry).enc
+		c.mu.Unlock()
+		if enc == nil {
+			// Resident but never encodable (marshal failed on Put);
+			// there are no canonical bytes to serve.
+			c.met.misses.Inc()
+			return nil, false
+		}
+		c.met.hits.Inc()
+		return enc, true
+	}
+	c.mu.Unlock()
+
+	if out, enc, ok := c.readDisk(key); ok {
+		c.mu.Lock()
+		c.insertLocked(key, out, enc)
+		c.mu.Unlock()
+		c.met.hits.Inc()
+		c.met.diskHits.Inc()
+		return enc, true
+	}
+
+	c.met.misses.Inc()
+	return nil, false
+}
+
 // Put stores the outcome under key, evicting the least recently used
-// entry when full. Disk-store write failures are swallowed (but counted
-// in DiskErrorStats): the cache is an accelerator, never a correctness
-// dependency.
+// entry when full. The outcome is marshaled exactly once here; a Put
+// of an already-resident key is a pure LRU touch (entries are
+// immutable under their content hash, so re-encoding and re-writing
+// the disk store would only burn cycles). Disk-store write failures
+// are swallowed (but counted in DiskErrorStats): the cache is an
+// accelerator, never a correctness dependency.
 func (c *ResultCache) Put(key string, out metrics.Outcome) {
 	c.mu.Lock()
-	c.insertLocked(key, out)
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
 	c.mu.Unlock()
-	c.writeDisk(key, out)
+
+	enc, err := json.Marshal(out)
+	if err != nil {
+		// Unmarshalable outcomes cannot reach the disk store either;
+		// keep the memory entry so Get still works and count the write
+		// failure where it used to be counted.
+		c.mu.Lock()
+		c.insertLocked(key, out, nil)
+		c.mu.Unlock()
+		if _, ok := c.diskPath(key); ok {
+			c.met.errWrite.Inc()
+		}
+		return
+	}
+	c.mu.Lock()
+	c.insertLocked(key, out, enc)
+	c.mu.Unlock()
+	c.writeDisk(key, enc)
 }
 
 // insertLocked adds or refreshes an entry; c.mu must be held.
-func (c *ResultCache) insertLocked(key string, out metrics.Outcome) {
+func (c *ResultCache) insertLocked(key string, out metrics.Outcome, enc []byte) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).out = out
+		e := el.Value.(*cacheEntry)
+		e.out = out
+		if enc != nil {
+			e.enc = enc
+		}
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out, enc: enc})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -188,10 +258,13 @@ func (c *ResultCache) diskPath(key string) (string, bool) {
 	return filepath.Join(c.dir, key[:2], key+".json"), true
 }
 
-func (c *ResultCache) readDisk(key string) (metrics.Outcome, bool) {
+// readDisk loads an entry from the disk store, returning both the
+// decoded outcome and the raw bytes so a promotion retains the
+// canonical encoding instead of re-marshaling it later.
+func (c *ResultCache) readDisk(key string) (metrics.Outcome, []byte, bool) {
 	path, ok := c.diskPath(key)
 	if !ok {
-		return metrics.Outcome{}, false
+		return metrics.Outcome{}, nil, false
 	}
 	start := time.Now()
 	b, err := os.ReadFile(path)
@@ -202,15 +275,15 @@ func (c *ResultCache) readDisk(key string) (metrics.Outcome, bool) {
 		if !errors.Is(err, fs.ErrNotExist) {
 			c.met.errRead.Inc()
 		}
-		return metrics.Outcome{}, false
+		return metrics.Outcome{}, nil, false
 	}
 	var out metrics.Outcome
 	if err := json.Unmarshal(b, &out); err != nil {
 		c.met.errDecode.Inc()
 		c.quarantine(path)
-		return metrics.Outcome{}, false
+		return metrics.Outcome{}, nil, false
 	}
-	return out, true
+	return out, b, true
 }
 
 // quarantine moves a corrupt entry aside (<key>.corrupt) so the bad
@@ -221,14 +294,11 @@ func (c *ResultCache) quarantine(path string) {
 	_ = os.Rename(path, strings.TrimSuffix(path, ".json")+".corrupt")
 }
 
-func (c *ResultCache) writeDisk(key string, out metrics.Outcome) {
+// writeDisk persists the already-encoded entry; the caller supplies
+// the canonical bytes so the disk store never marshals.
+func (c *ResultCache) writeDisk(key string, b []byte) {
 	path, ok := c.diskPath(key)
 	if !ok {
-		return
-	}
-	b, err := json.Marshal(out)
-	if err != nil {
-		c.met.errWrite.Inc()
 		return
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -223,6 +225,93 @@ func TestCacheReadError(t *testing.T) {
 	st := c.Stats()
 	if st.DiskErrors.Read != 1 {
 		t.Fatalf("disk_errors.read = %d, want 1", st.DiskErrors.Read)
+	}
+}
+
+// TestCacheEncodedServesCanonicalBytes pins the warm-serve contract:
+// Encoded hands out the exact bytes one json.Marshal of the outcome
+// produces — whether the entry is memory-resident or promoted from
+// disk — so result serves can io.Copy them without re-marshaling.
+func TestCacheEncodedServesCanonicalBytes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := metrics.NewOutcome()
+	out.Steps = 55
+	out.Duration = 1.25
+	want, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(4), out)
+	enc, ok := c.Encoded(key(4))
+	if !ok {
+		t.Fatal("Encoded missed a resident entry")
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("memory Encoded = %s, want %s", enc, want)
+	}
+	// From disk, through a fresh cache: the stored file IS the
+	// canonical encoding, returned as read.
+	c2, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, ok := c2.Encoded(key(4))
+	if !ok {
+		t.Fatal("Encoded missed the disk entry")
+	}
+	if !bytes.Equal(enc2, want) {
+		t.Fatalf("disk Encoded = %s, want %s", enc2, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("stats after disk Encoded = %+v, want 1 hit, 1 disk hit", st)
+	}
+	// The promotion carried the bytes: no second disk read.
+	if _, ok := c2.Encoded(key(4)); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk hits after promotion = %d, want 1", st.DiskHits)
+	}
+	if _, ok := c.Encoded(key(9)); ok {
+		t.Error("Encoded hit on an absent key")
+	}
+}
+
+// TestCachePutResidentSkipsWrite pins the repeat-Put fast path: keys
+// are content hashes, so a Put of an already-resident key must not
+// re-marshal or rewrite the disk store. The sentinel planted in the
+// entry's disk slot surviving the second Put proves no write happened.
+func TestCachePutResidentSkipsWrite(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := metrics.Outcome{Steps: 11}
+	c.Put(key(5), out)
+	path, ok := c.diskPath(key(5))
+	if !ok {
+		t.Fatal("disk store not enabled")
+	}
+	sentinel := []byte(`{"sentinel":true}`)
+	if err := os.WriteFile(path, sentinel, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(5), out)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sentinel) {
+		t.Fatalf("resident Put rewrote the disk entry: %s", got)
+	}
+	// And the memory entry still serves.
+	if o, ok := c.Get(key(5)); !ok || o.Steps != 11 {
+		t.Fatalf("resident entry = %+v %v, want Steps=11", o, ok)
 	}
 }
 

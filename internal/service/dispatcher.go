@@ -18,6 +18,7 @@ import (
 	"adasim/internal/experiments"
 	"adasim/internal/explore"
 	"adasim/internal/metrics"
+	"adasim/internal/mlmit"
 	"adasim/internal/obs"
 	"adasim/internal/report"
 )
@@ -197,6 +198,10 @@ type Dispatcher struct {
 	// no registered workers is inert and every task runs on the local
 	// shards).
 	hub *workerHub
+	// mlHub batches ML inference across the local worker shards: runs
+	// submitted in-process with an MLNet (the wire format never carries
+	// one) share fused float32 GEMMs when they execute concurrently.
+	mlHub *mlmit.Hub
 	// limiter rate-limits task submissions per client; nil when
 	// Config.SubmitRate is zero (the default).
 	limiter *submitLimiter
@@ -273,6 +278,14 @@ func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*c
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.hub = newWorkerHub(cache, newWorkerMetrics(cfg.Metrics), cfg.Logger, cfg.LeaseTTL, cfg.WorkerBatch)
+	d.mlHub = mlmit.NewHub(cfg.Workers, 0)
+	if d.m.mlBatch != nil {
+		mlBatch, mlInfer := d.m.mlBatch, d.m.mlInfer
+		d.mlHub.SetObserver(func(batch int, dur time.Duration) {
+			mlBatch.Observe(float64(batch))
+			mlInfer.Observe(dur.Seconds())
+		})
+	}
 	d.limiter = newSubmitLimiter(cfg.SubmitRate, cfg.SubmitBurst, cfg.Metrics)
 	if cfg.JournalDir != "" {
 		j, recs, stats, err := openJournal(cfg.JournalDir, 0, cfg.Metrics)
@@ -737,8 +750,8 @@ func (d *Dispatcher) viewLocked(t *task) TaskView {
 		Status:          t.status,
 		Priority:        t.priority,
 		TotalRuns:       t.prep.Total,
-		CompletedRuns:   t.completed,
-		CacheHits:       t.cacheHits,
+		CompletedRuns:   int(t.completed.Load()),
+		CacheHits:       int(t.cacheHits.Load()),
 		CancelRequested: t.status == StatusRunning && t.cancel.Load(),
 		Error:           t.errMsg,
 		SubmittedAt:     t.submittedAt,
@@ -825,24 +838,30 @@ func (d *Dispatcher) executeTask(t *task) {
 		Cache: d.cache,
 		Progress: func(completed, cacheHits int) {
 			// Progress callbacks arrive concurrently from worker
-			// goroutines with no ordering guarantee; only ever move the
-			// counters forward so a stale callback cannot make a polled
-			// view regress.
-			d.mu.Lock()
-			if completed > t.completed {
-				t.completed = completed
-			}
-			if cacheHits > t.cacheHits {
-				t.cacheHits = cacheHits
-			}
+			// goroutines once per run with no ordering guarantee. The
+			// counters are lock-free CAS-max (a stale callback cannot make
+			// a polled view regress, and the hot path never touches the
+			// dispatcher lock — under a parallel campaign that lock is
+			// contended by every status poll and metrics scrape).
+			storeMax(&t.completed, int64(completed))
+			storeMax(&t.cacheHits, int64(cacheHits))
 			// Timeline progress at stride boundaries (~16 events per
 			// sized task), so a watcher sees motion without an event per
-			// run.
-			if t.completed >= t.nextProgress {
-				d.appendEventLocked(t, EventProgress, progressDetail(t.completed, t.prep.Total, t.cacheHits))
-				t.nextProgress = t.completed + t.progressStride
+			// run. Racing callbacks CAS the threshold forward; the winner
+			// alone takes the lock and appends the event.
+			for {
+				next := t.nextProgress.Load()
+				cur := t.completed.Load()
+				if cur < next {
+					return
+				}
+				if t.nextProgress.CompareAndSwap(next, cur+int64(t.progressStride)) {
+					d.mu.Lock()
+					d.appendEventLocked(t, EventProgress, progressDetail(int(cur), t.prep.Total, int(t.cacheHits.Load())))
+					d.mu.Unlock()
+					return
+				}
 			}
-			d.mu.Unlock()
 		},
 	}
 	result, stats, err := d.safeRun(t, env)
@@ -866,18 +885,18 @@ func (d *Dispatcher) executeTask(t *task) {
 		// that a canceled task never publishes results.
 		t.status = StatusCanceled
 		t.errMsg = ErrCanceled.Error()
-		d.appendEventLocked(t, EventCanceled, fmt.Sprintf("canceled after %d runs", t.completed))
+		d.appendEventLocked(t, EventCanceled, fmt.Sprintf("canceled after %d runs", t.completed.Load()))
 	case err != nil:
 		t.status = StatusFailed
 		t.errMsg = err.Error()
 		d.appendEventLocked(t, EventFailed, t.errMsg)
 	default:
 		t.status = StatusDone
-		t.completed = stats.Completed
-		t.cacheHits = stats.CacheHits
+		t.completed.Store(int64(stats.Completed))
+		t.cacheHits.Store(int64(stats.CacheHits))
 		t.result = result
 		d.appendEventLocked(t, EventDone, fmt.Sprintf("%d runs, %d cache hits, ran %s",
-			t.completed, t.cacheHits, ran.Round(time.Microsecond)))
+			stats.Completed, stats.CacheHits, ran.Round(time.Microsecond)))
 	}
 	d.m.finished[t.kind.Plural][t.status].Inc()
 	d.m.taskDur[t.kind.Plural].Observe(ran.Seconds())
@@ -888,7 +907,7 @@ func (d *Dispatcher) executeTask(t *task) {
 	t.prep.Run = nil
 	d.journalTerminal(t, resultHash)
 	d.pruneLocked()
-	status, completed, cacheHits, errMsg := t.status, t.completed, t.cacheHits, t.errMsg
+	status, completed, cacheHits, errMsg := t.status, t.completed.Load(), t.cacheHits.Load(), t.errMsg
 	d.mu.Unlock()
 	close(t.done)
 	if status == StatusFailed {
@@ -896,6 +915,17 @@ func (d *Dispatcher) executeTask(t *task) {
 	} else {
 		d.log.Info("task finished", "task", t.id, "kind", t.kind.Name,
 			"status", string(status), "runs", completed, "cache_hits", cacheHits, "ran", ran)
+	}
+}
+
+// storeMax advances a monotone atomic counter to v unless it is
+// already past it.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -1032,6 +1062,9 @@ func (d *Dispatcher) worker() {
 		var start time.Time
 		if d.m.runDur != nil {
 			start = time.Now()
+		}
+		if t.run.Opts.Interventions.ML && t.run.Opts.Interventions.MLHub == nil {
+			t.run.Opts.Interventions.MLHub = d.mlHub
 		}
 		res, err := d.runWithRetry(&r, t.run.Opts)
 		if d.m.runDur != nil {

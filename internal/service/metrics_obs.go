@@ -33,6 +33,8 @@ var (
 	journalAppendBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5}
 	httpDurBuckets       = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
 	remoteBatchBuckets   = []float64{0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+	mlBatchBuckets       = []float64{1, 2, 4, 8, 16, 32}
+	mlInferBuckets       = []float64{5e-05, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.025}
 )
 
 // requeueReasons is the label vocabulary of the batch re-queue counter:
@@ -76,6 +78,8 @@ type dispatcherMetrics struct {
 	agingPromotions *obs.Counter
 	cancelQueued    *obs.Counter
 	cancelRunning   *obs.Counter
+	mlBatch         *obs.Histogram
+	mlInfer         *obs.Histogram
 }
 
 func newDispatcherMetrics(reg *obs.Registry, uninstrumented bool) *dispatcherMetrics {
@@ -136,6 +140,10 @@ func newDispatcherMetrics(reg *obs.Registry, uninstrumented bool) *dispatcherMet
 		"Accepted cancellation requests by task phase.", obs.L("phase", "queued"))
 	m.cancelRunning = reg.Counter("adasim_cancellations_total",
 		"Accepted cancellation requests by task phase.", obs.L("phase", "running"))
+	m.mlBatch = reg.Histogram("adasim_ml_batch_size",
+		"Sequences fused per batched ML inference on the worker shards.", mlBatchBuckets)
+	m.mlInfer = reg.Histogram("adasim_ml_infer_seconds",
+		"Batched ML inference kernel time on the worker shards.", mlInferBuckets)
 	return m
 }
 

@@ -182,10 +182,15 @@ type task struct {
 	prep     PreparedTask
 	priority PriorityClass
 
-	status      Status
-	completed   int
-	cacheHits   int
-	errMsg      string
+	status Status
+	// completed/cacheHits are atomic so the per-run Progress callback —
+	// the hottest dispatcher path, hit once per simulation run — can
+	// advance them without taking the dispatcher lock. They only ever
+	// move forward (CAS-max) while the task runs; the finalize path
+	// stores the authoritative totals.
+	completed atomic.Int64
+	cacheHits atomic.Int64
+	errMsg    string
 	submittedAt time.Time
 	startedAt   *time.Time
 	finishedAt  *time.Time
@@ -204,10 +209,12 @@ type task struct {
 
 	// Lifecycle timeline (see timeline.go): the ordered event record,
 	// the live subscriber channels, the completed-count threshold for
-	// the next progress event, and its stride.
+	// the next progress event (atomic: progress callbacks race to cross
+	// it and CAS elects the one that appends the event), and its stride
+	// (immutable after construction).
 	timeline       []TimelineEvent
 	subs           []chan TimelineEvent
-	nextProgress   int
+	nextProgress   atomic.Int64
 	progressStride int
 
 	cancel atomic.Bool // cooperative cancellation request

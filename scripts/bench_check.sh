@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench_check.sh — the perf smoke gate. Runs the two benchmarks whose
+# results are hard contracts, not just trajectory points, and fails on:
+#
+#   1. BenchmarkSimulationStep reporting > 0 allocs/op — the hot
+#      control-cycle loop is zero-alloc by design; a single allocation
+#      here multiplies by millions of steps per campaign.
+#   2. BenchmarkInstrumentedMixedWorkload/overhead reporting an
+#      instrumentation overhead above 10% — the paired, interleaved
+#      A/B measurement of the observability layer (sequential A/B runs
+#      of this workload drift with the host and cannot gate anything).
+#
+# Short bench times keep this a smoke test (~1 min): it catches
+# regressions of kind (an alloc appearing, overhead exploding), not
+# small percentage drifts — `make bench` tracks those.
+set -eu
+
+GO=${GO:-go}
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT INT TERM
+
+echo "bench-check: BenchmarkSimulationStep (allocs/op gate)"
+$GO test -run '^$' -bench 'BenchmarkSimulationStep$' -benchmem \
+    -benchtime=10000x -timeout 10m . | tee "$OUT"
+ALLOCS=$(awk '/^BenchmarkSimulationStep/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }' "$OUT")
+[ -n "$ALLOCS" ] || { echo "FAIL: no allocs/op in BenchmarkSimulationStep output"; exit 1; }
+if [ "$ALLOCS" -gt 0 ]; then
+    echo "FAIL: BenchmarkSimulationStep allocates ($ALLOCS allocs/op, want 0)"
+    exit 1
+fi
+echo "ok: simulation step is zero-alloc"
+
+echo "bench-check: BenchmarkInstrumentedMixedWorkload/overhead (10% gate)"
+$GO test -run '^$' -bench 'BenchmarkInstrumentedMixedWorkload/overhead$' \
+    -benchtime=10x -timeout 10m . | tee "$OUT"
+PCT=$(awk '/^BenchmarkInstrumentedMixedWorkload\/overhead/ { for (i = 1; i < NF; i++) if ($(i+1) == "overhead-%") print $i }' "$OUT")
+[ -n "$PCT" ] || { echo "FAIL: no overhead-% in overhead bench output"; exit 1; }
+awk -v p="$PCT" 'BEGIN {
+    if (p + 0 > 10) { printf "FAIL: instrumentation overhead %.1f%% exceeds 10%%\n", p; exit 1 }
+    printf "ok: instrumentation overhead %.1f%% <= 10%%\n", p }'
