@@ -30,7 +30,7 @@ fuzz-smoke:
 # (the total), and enforces the ratchet gate: the total must not drop
 # below the COVERAGE.md snapshot minus one point (COVER_FLOOR). Raise
 # the floor when COVERAGE.md's snapshot moves up.
-COVER_FLOOR ?= 74.8
+COVER_FLOOR ?= 75.3
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
@@ -52,14 +52,16 @@ bench:
 		echo "backed up previous BENCH_step.json to BENCH_history/"; \
 	fi
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMInfer32$$|BenchmarkLSTMInferBatched$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkMixedWorkloadMultiNode$$|BenchmarkInstrumentedMixedWorkload|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$' \
+		-bench 'BenchmarkSimulationStep$$|BenchmarkLSTMInfer$$|BenchmarkLSTMInfer32$$|BenchmarkLSTMInferBatched$$|BenchmarkLSTMPredict$$|BenchmarkClosedLoopRun$$|BenchmarkCampaignThroughput$$|BenchmarkServiceThroughput|BenchmarkReportThroughput|BenchmarkMixedWorkloadThroughput$$|BenchmarkMixedWorkloadMultiNode$$|BenchmarkInstrumentedMixedWorkload|BenchmarkExploreBoundarySearch$$|BenchmarkJournalRecovery$$|BenchmarkDiskCacheStore' \
 		-benchmem -benchtime=2s -timeout 30m . > BENCH_step.json
 	@grep -o '"Output":"[^"]*"' BENCH_step.json | sed 's/"Output":"//;s/"$$//' \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
 # bench-check is the perf smoke gate (see scripts/bench_check.sh): it
-# fails if the hot simulation step allocates at all or if the paired
-# interleaved instrumentation-overhead measurement exceeds 10%.
+# fails if the hot simulation step allocates at all, if the paired
+# interleaved instrumentation-overhead measurement exceeds 10%, or if
+# the segment store loses its contracted margins over the legacy JSON
+# disk tier (disk hit >= 5x, cold-start index build >= 10x).
 bench-check:
 	./scripts/bench_check.sh
 

@@ -116,6 +116,62 @@ func TestClosedLoopRunAllocBudget(t *testing.T) {
 	}
 }
 
+// TestServiceWarmJobAllocBudget ratchets the service's own per-run
+// overhead: a job whose every run is served from the in-memory result
+// cache measures pure dispatcher + plan + cache-lookup cost, with the
+// closed loop entirely out of the picture. Per-run fingerprinting goes
+// through the reused scratch encoder and executePlan's working slices
+// recycle through a pool, so the warm path must stay tight; the budget
+// only ever moves down.
+func TestServiceWarmJobAllocBudget(t *testing.T) {
+	const perRunBudget = 40 // observed ~15/run; was ~306 before the scratch/pool work
+	d, err := service.NewDispatcher(service.Config{
+		Workers: 1, QueueSize: 16, CacheEntries: 1 << 10, Uninstrumented: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Drain(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	spec := service.JobSpec{
+		Scenarios:     []scenario.ID{scenario.S1},
+		Gaps:          []float64{60},
+		Reps:          16,
+		Steps:         300,
+		BaseSeed:      1,
+		Fault:         fi.DefaultParams(fi.TargetMixed),
+		Interventions: core.InterventionSet{Driver: true, SafetyCheck: true},
+	}
+	// The cold pass executes and caches every run.
+	view, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-d.Done(view.ID)
+	view, _ = d.Job(view.ID)
+	if view.Status != service.StatusDone {
+		t.Fatalf("cold job: %s (%s)", view.Status, view.Error)
+	}
+	runs := view.TotalRuns
+	allocs := testing.AllocsPerRun(10, func() {
+		v, err := d.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-d.Done(v.ID)
+	})
+	t.Logf("warm allocs = %.1f/run (%v/job over %d runs)", allocs/float64(runs), allocs, runs)
+	if perRun := allocs / float64(runs); perRun > perRunBudget {
+		t.Errorf("warm service job allocs = %.1f/run (%v/job over %d runs), budget %d/run",
+			perRun, allocs, runs, perRunBudget)
+	}
+}
+
 // BenchmarkTableIV regenerates the fault-free driving-performance table.
 func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,8 @@
+//go:build slowbench
+
+package adasim
+
+// cacheBenchEntries under -tags slowbench: the 1e6-entry stress scale.
+// Building the paired JSON-layout store writes a million small files,
+// so this tag is for dedicated perf runs, not the default suite.
+const cacheBenchEntries = 1_000_000

@@ -1,0 +1,8 @@
+//go:build !slowbench
+
+package adasim
+
+// cacheBenchEntries sizes the BenchmarkDiskCacheStore stores: the
+// acceptance scale is 1e5 entries. Build with -tags slowbench for the
+// 1e6-entry variant.
+const cacheBenchEntries = 100_000

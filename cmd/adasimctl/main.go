@@ -20,6 +20,7 @@
 //	                   task status|results|wait|cancel|watch -id <task-id>
 //	scenarios        list the scenario catalogue (including families)
 //	health           show daemon health, queue, pool, and cache counters
+//	cache            show the result cache: memory tier and segment store
 //	workers          show the remote-worker fleet (connected workers, leases)
 //
 // The submit verbs accept -priority interactive|bulk to override the
@@ -65,7 +66,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "adasimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|task|scenarios|health|workers> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: adasimctl [-addr URL] <submit|status|results|wait|explore|explore-status|explore-results|report|report-status|report-results|task|scenarios|health|cache|workers> [flags]")
 		fmt.Fprintln(os.Stderr, "       adasimctl task <status|results|wait|cancel|watch> -id <task-id>")
 		flag.PrintDefaults()
 	}
@@ -103,6 +104,8 @@ func run() error {
 		return getPrint(c, "/v1/scenarios")
 	case "health":
 		return getPrint(c, "/healthz")
+	case "cache":
+		return cmdCache(c)
 	case "workers":
 		return getPrint(c, "/v1/workers")
 	default:
@@ -354,6 +357,37 @@ func cmdWait(c *client.Client, args []string) error {
 
 // getPrint fetches path and prints the raw response body, preserving the
 // server's byte-exact encoding.
+// cmdCache renders the result-cache slice of /healthz: the in-memory
+// LRU counters, and — when the disk tier is on — the segment store's
+// segment/index/byte accounting and its compaction, GC, and migration
+// history.
+func cmdCache(c *client.Client) error {
+	var health service.HealthResponse
+	if err := c.GetJSON("/healthz", &health); err != nil {
+		return err
+	}
+	st := health.Cache
+	fmt.Printf("memory tier: %d/%d entries, %d hits (%d from disk), %d misses, %d evictions\n",
+		st.Entries, st.MaxSize, st.Hits, st.DiskHits, st.Misses, st.Evictions)
+	if st.Disk == nil {
+		fmt.Println("disk tier: off")
+		return nil
+	}
+	d := st.Disk
+	fmt.Printf("segment store: %d segments, %d indexed keys, %d live bytes, %d dead bytes",
+		d.Segments, d.IndexEntries, d.LiveBytes, d.DeadBytes)
+	if d.MaxBytes > 0 {
+		fmt.Printf(" (budget %d)", d.MaxBytes)
+	}
+	fmt.Println()
+	fmt.Printf("maintenance: %d compactions, %d segments gc'd (%d bytes), %d legacy migrations, %d corrupt records\n",
+		d.Compactions, d.GCSegments, d.GCBytes, d.Migrations, d.CorruptRecords)
+	if e := st.DiskErrors; e.Read+e.Write+e.Decode > 0 {
+		fmt.Printf("disk errors: %d read, %d write, %d decode\n", e.Read, e.Write, e.Decode)
+	}
+	return nil
+}
+
 func getPrint(c *client.Client, path string) error {
 	b, err := c.GetRaw(path)
 	if err != nil {

@@ -155,10 +155,11 @@ func (c Config) execute(reqs []RunRequest) ([]RunOutcome, error) {
 	outs := make([]RunOutcome, len(reqs))
 	var missed []int
 	var keys []string
+	var fp FingerprintScratch
 	for i, req := range reqs {
 		key := ""
 		if !req.Opts.RecordTrace {
-			if k, err := RunFingerprint(req.Opts); err == nil {
+			if k, err := fp.Fingerprint(req.Opts); err == nil {
 				key = k
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -53,11 +54,35 @@ type optionsFingerprint struct {
 // format), so hashing them would let two different networks collide on
 // one cache key.
 func RunFingerprint(opts core.Options) (string, error) {
+	var s FingerprintScratch
+	return s.Fingerprint(opts)
+}
+
+// FingerprintScratch computes run fingerprints while reusing the
+// canonical-encode buffer across calls. RunFingerprint allocates the
+// encoder state per call; the batch call sites (campaign planning, the
+// remote worker's batch execute, the exploration engine) fingerprint
+// hundreds of runs back to back and keep one scratch per batch instead.
+// The zero value is ready; not safe for concurrent use.
+type FingerprintScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// Fingerprint is RunFingerprint against the reusable buffer. The
+// encoding (and therefore the hash) is identical to RunFingerprint's:
+// json.Encoder writes json.Marshal's bytes plus a trailing newline,
+// which is stripped before hashing.
+func (s *FingerprintScratch) Fingerprint(opts core.Options) (string, error) {
 	if opts.Interventions.ML || opts.Interventions.MLNet != nil {
 		return "", fmt.Errorf("experiments: ML runs cannot be fingerprinted (trained weights are not part of the encoding)")
 	}
 	opts = opts.WithDefaults()
-	b, err := json.Marshal(optionsFingerprint{
+	if s.enc == nil {
+		s.enc = json.NewEncoder(&s.buf)
+	}
+	s.buf.Reset()
+	err := s.enc.Encode(optionsFingerprint{
 		Scenario:              opts.Scenario,
 		Map:                   opts.Map,
 		FrictionScale:         opts.FrictionScale,
@@ -80,6 +105,7 @@ func RunFingerprint(opts core.Options) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("experiments: fingerprinting run: %w", err)
 	}
-	sum := sha256.Sum256(b)
+	b := s.buf.Bytes()
+	sum := sha256.Sum256(b[:len(b)-1]) // strip the Encoder's trailing newline
 	return hex.EncodeToString(sum[:]), nil
 }

@@ -178,6 +178,7 @@ func (e *Engine) evaluate(fam *scengen.Family, spec Spec, pts []Point, stats *St
 	var reqs []experiments.RunRequest
 	var keys []string
 	var missed []int
+	var fp experiments.FingerprintScratch
 	for i, pt := range pts {
 		params := merged(spec.Fixed, pt)
 		resolved, err := fam.Resolve(params)
@@ -196,7 +197,7 @@ func (e *Engine) evaluate(fam *scengen.Family, spec Spec, pts []Point, stats *St
 			Seed:          seedForPoint(spec.BaseSeed, spec.Family, resolved),
 			Steps:         spec.Steps,
 		}
-		key, err := experiments.RunFingerprint(opts)
+		key, err := fp.Fingerprint(opts)
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,6 @@ import (
 	"container/list"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -21,15 +20,15 @@ import (
 // visible: a dying disk shows up here (and in /healthz) long before it
 // shows up as mysteriously slow recoveries.
 type DiskErrorStats struct {
-	// Write counts failed disk-store writes (marshal, mkdir, temp file,
-	// write, rename).
+	// Write counts failed disk-store writes (segment create, rotate
+	// fsync, record append).
 	Write int64 `json:"write"`
-	// Read counts failed disk reads other than plain misses
-	// (fs.ErrNotExist is a miss, not an error).
+	// Read counts failed disk reads other than plain misses (an absent
+	// key is a miss, not an error).
 	Read int64 `json:"read"`
-	// Decode counts entries whose JSON did not parse; each one is
-	// quarantined (renamed to <key>.corrupt) so it is counted once, not
-	// on every lookup.
+	// Decode counts entries whose canonical JSON did not parse; each one
+	// is dropped from the index (legacy files are quarantined as
+	// <key>.corrupt) so it is counted once, not on every lookup.
 	Decode int64 `json:"decode"`
 }
 
@@ -42,21 +41,29 @@ type CacheStats struct {
 	DiskHits   int64          `json:"disk_hits"`
 	Evictions  int64          `json:"evictions"`
 	DiskErrors DiskErrorStats `json:"disk_errors"`
+	// Disk describes the segment store; nil when the disk tier is off.
+	Disk *SegmentStoreStats `json:"disk,omitempty"`
 }
 
 // ResultCache is a content-addressed store of per-run outcomes keyed by
 // the run fingerprint hash (see JobSpec.Plan). It keeps an in-memory LRU
 // of maxEntries outcomes and, when dir is non-empty, mirrors every entry
-// to an on-disk JSON store that survives restarts and LRU eviction.
-// Because keys are content hashes of everything that determines a run,
-// an entry is immutable: a key can only ever map to one outcome.
+// to an on-disk segment store (see segstore.go) that survives restarts
+// and LRU eviction. Because keys are content hashes of everything that
+// determines a run, an entry is immutable: a key can only ever map to
+// one outcome.
+//
+// A dir holding the old one-JSON-file-per-entry store migrates in
+// place: legacy entries are read through once, folded into segments,
+// and their files removed — never rewritten as files.
 type ResultCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	dir string
+	dir   string
+	store *segStore // nil when the disk tier is off (dir == "")
 
 	// All counters live in the obs registry (see newCacheMetrics): the
 	// same handles feed CacheStats (the /healthz wire format) and the
@@ -66,36 +73,36 @@ type ResultCache struct {
 	met *cacheMetrics
 }
 
-// cacheEntry pairs the decoded outcome with its canonical JSON
-// encoding. Keys are content hashes, so the encoding is computed once
+// cacheEntry pairs the canonical JSON encoding with its decoded
+// outcome. Keys are content hashes, so the encoding is computed once
 // per key — on first Put or on disk promotion — and never again: warm
 // serves hand out the stored bytes instead of re-marshaling, and a
 // repeat Put of a resident key skips both the marshal and the disk
-// write.
+// write. The decode is just as lazy: a disk hit promoted through
+// Encoded parks the verified bytes here undecoded, and the unmarshal
+// happens only if a Get ever wants the struct.
 type cacheEntry struct {
-	key string
-	out metrics.Outcome
-	enc []byte
+	key     string
+	out     metrics.Outcome
+	enc     []byte
+	decoded bool
 }
 
 // NewResultCache builds a cache holding up to maxEntries outcomes in
-// memory (minimum 1). dir, when non-empty, enables the on-disk store and
-// is created if missing. Counters record into a private registry; the
-// dispatcher builds its cache through newResultCache to share its own.
+// memory (minimum 1). dir, when non-empty, enables the on-disk segment
+// store and is created if missing. Counters record into a private
+// registry; the dispatcher builds its cache through newResultCache to
+// share its own and to set the disk byte budget.
 func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
-	return newResultCache(maxEntries, dir, nil)
+	return newResultCache(maxEntries, dir, 0, 0, nil)
 }
 
 // newResultCache is NewResultCache recording into reg (nil means a
-// private registry).
-func newResultCache(maxEntries int, dir string, reg *obs.Registry) (*ResultCache, error) {
+// private registry), with the segment store's byte budget (maxBytes,
+// 0 = unbounded) and segment size bound (segBytes, 0 = default).
+func newResultCache(maxEntries int, dir string, maxBytes, segBytes int64, reg *obs.Registry) (*ResultCache, error) {
 	if maxEntries < 1 {
 		maxEntries = 1
-	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("service: creating cache dir: %w", err)
-		}
 	}
 	c := &ResultCache{
 		max:   maxEntries,
@@ -104,8 +111,24 @@ func newResultCache(maxEntries int, dir string, reg *obs.Registry) (*ResultCache
 		dir:   dir,
 		met:   newCacheMetrics(reg),
 	}
+	if dir != "" {
+		store, err := openSegStore(dir, segBytes, maxBytes, c.met)
+		if err != nil {
+			return nil, err
+		}
+		c.store = store
+	}
 	c.met.maxEntries.Set(int64(maxEntries))
 	return c, nil
+}
+
+// Close releases the disk tier: the compactor stops, the active segment
+// syncs, and the file handles close. Safe on a memory-only cache and
+// idempotent; the memory side keeps serving after Close.
+func (c *ResultCache) Close() {
+	if c.store != nil {
+		c.store.close()
+	}
 }
 
 // Get returns the outcome stored under key. A memory miss falls through
@@ -114,17 +137,44 @@ func newResultCache(maxEntries int, dir string, reg *obs.Registry) (*ResultCache
 func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if !e.decoded {
+			// Promoted through Encoded and never needed as a struct until
+			// now; decode once and keep it.
+			if err := json.Unmarshal(e.enc, &e.out); err != nil {
+				c.removeLocked(el)
+				c.mu.Unlock()
+				c.met.errDecode.Inc()
+				if c.store != nil {
+					c.store.deleteKey(key)
+				}
+				c.met.misses.Inc()
+				return metrics.Outcome{}, false
+			}
+			e.decoded = true
+		}
 		c.ll.MoveToFront(el)
-		out := el.Value.(*cacheEntry).out
+		out := e.out
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		return out, true
 	}
 	c.mu.Unlock()
 
-	if out, enc, ok := c.readDisk(key); ok {
+	if enc, ok := c.readDisk(key); ok {
+		var out metrics.Outcome
+		if err := json.Unmarshal(enc, &out); err != nil {
+			// The bytes were CRC-clean, so this is a schema mismatch, not
+			// bit rot; count it once and drop the record.
+			c.met.errDecode.Inc()
+			if c.store != nil {
+				c.store.deleteKey(key)
+			}
+			c.met.misses.Inc()
+			return metrics.Outcome{}, false
+		}
 		c.mu.Lock()
-		c.insertLocked(key, out, enc)
+		c.insertLocked(key, out, enc, true)
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		c.met.diskHits.Inc()
@@ -139,7 +189,9 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 // under key, for serving verbatim (io.Copy via bytes.Reader) without a
 // re-marshal. The bytes are the cache's single encoding of the entry:
 // callers must not mutate them. Lookup semantics match Get (memory,
-// then disk, with LRU promotion and hit/miss accounting).
+// then disk, with LRU promotion and hit/miss accounting) — but a disk
+// hit here skips the unmarshal entirely: the CRC-verified bytes are
+// promoted undecoded and served as-is.
 func (c *ResultCache) Encoded(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -157,9 +209,9 @@ func (c *ResultCache) Encoded(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 
-	if out, enc, ok := c.readDisk(key); ok {
+	if enc, ok := c.readDisk(key); ok {
 		c.mu.Lock()
-		c.insertLocked(key, out, enc)
+		c.insertLocked(key, metrics.Outcome{}, enc, false)
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		c.met.diskHits.Inc()
@@ -181,6 +233,13 @@ func (c *ResultCache) Put(key string, out metrics.Outcome) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		if !e.decoded {
+			// The caller just handed us the decoded form; keep it rather
+			// than pay a later unmarshal.
+			e.out = out
+			e.decoded = true
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -192,44 +251,53 @@ func (c *ResultCache) Put(key string, out metrics.Outcome) {
 		// keep the memory entry so Get still works and count the write
 		// failure where it used to be counted.
 		c.mu.Lock()
-		c.insertLocked(key, out, nil)
+		c.insertLocked(key, out, nil, true)
 		c.mu.Unlock()
-		if _, ok := c.diskPath(key); ok {
+		if c.diskEligible(key) {
 			c.met.errWrite.Inc()
 		}
 		return
 	}
 	c.mu.Lock()
-	c.insertLocked(key, out, enc)
+	c.insertLocked(key, out, enc, true)
 	c.mu.Unlock()
 	c.writeDisk(key, enc)
 }
 
 // insertLocked adds or refreshes an entry; c.mu must be held.
-func (c *ResultCache) insertLocked(key string, out metrics.Outcome, enc []byte) {
+func (c *ResultCache) insertLocked(key string, out metrics.Outcome, enc []byte, decoded bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		e.out = out
+		if decoded {
+			e.out = out
+			e.decoded = true
+		}
 		if enc != nil {
 			e.enc = enc
 		}
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out, enc: enc})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out, enc: enc, decoded: decoded})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(oldest)
 		c.met.evictions.Inc()
 	}
+	c.met.entries.Set(int64(c.ll.Len()))
+}
+
+// removeLocked drops one entry from the LRU; c.mu must be held.
+func (c *ResultCache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*cacheEntry).key)
 	c.met.entries.Set(int64(c.ll.Len()))
 }
 
 // Stats snapshots the counters — the same registry series /metrics
 // exposes, so the two surfaces cannot disagree.
 func (c *ResultCache) Stats() CacheStats {
-	return CacheStats{
+	st := CacheStats{
 		Entries:   int(c.met.entries.Value()),
 		MaxSize:   int(c.met.maxEntries.Value()),
 		Hits:      int64(c.met.hits.Value()),
@@ -242,86 +310,88 @@ func (c *ResultCache) Stats() CacheStats {
 			Decode: int64(c.met.errDecode.Value()),
 		},
 	}
-}
-
-// diskPath is the single validity gate for disk-store keys: it returns
-// the entry's path and whether the disk store applies at all (enabled,
-// and the key long enough to shard). Every disk-side method goes through
-// it, so the key contract lives in exactly one place.
-//
-// Entries shard over 256 two-hex-digit directories so a large store does
-// not degenerate into one huge flat directory.
-func (c *ResultCache) diskPath(key string) (string, bool) {
-	if c.dir == "" || len(key) < 2 {
-		return "", false
+	if c.store != nil {
+		disk := c.store.stats()
+		st.Disk = &disk
 	}
-	return filepath.Join(c.dir, key[:2], key+".json"), true
+	return st
 }
 
-// readDisk loads an entry from the disk store, returning both the
-// decoded outcome and the raw bytes so a promotion retains the
-// canonical encoding instead of re-marshaling it later.
-func (c *ResultCache) readDisk(key string) (metrics.Outcome, []byte, bool) {
-	path, ok := c.diskPath(key)
-	if !ok {
-		return metrics.Outcome{}, nil, false
+// diskEligible is the single validity gate for disk-store keys: the
+// disk tier must be on and the key long enough to have sharded in the
+// legacy layout (two hex digits), which every real content-hash key is.
+func (c *ResultCache) diskEligible(key string) bool {
+	return c.store != nil && len(key) >= 2
+}
+
+// legacyPath is where the pre-segment disk store kept key: one JSON
+// file per entry under 256 two-hex-digit shard directories. Only the
+// migration read path still looks here.
+func (c *ResultCache) legacyPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// readDisk loads an entry's canonical bytes from the disk tier: the
+// segment store first, then the legacy JSON store, whose entries fold
+// into segments as they are touched (read-through migration).
+func (c *ResultCache) readDisk(key string) ([]byte, bool) {
+	if !c.diskEligible(key) {
+		return nil, false
 	}
 	start := time.Now()
-	b, err := os.ReadFile(path)
+	b, ok := c.store.read(key)
 	c.met.diskRead.Observe(time.Since(start).Seconds())
+	if ok {
+		return b, true
+	}
+	return c.readLegacy(key)
+}
+
+// readLegacy loads an entry from the old one-file-per-entry JSON store,
+// validates it, folds it into the segment store, and retires the file.
+// Old stores migrate in place this way, one entry per first touch,
+// without a stop-the-world rewrite.
+func (c *ResultCache) readLegacy(key string) ([]byte, bool) {
+	path := c.legacyPath(key)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		// Absence is the normal miss; anything else is a real read
 		// failure worth counting.
 		if !errors.Is(err, fs.ErrNotExist) {
 			c.met.errRead.Inc()
 		}
-		return metrics.Outcome{}, nil, false
+		return nil, false
 	}
 	var out metrics.Outcome
 	if err := json.Unmarshal(b, &out); err != nil {
 		c.met.errDecode.Inc()
 		c.quarantine(path)
-		return metrics.Outcome{}, nil, false
+		return nil, false
 	}
-	return out, b, true
+	c.store.append(key, b)
+	if c.store.has(key) {
+		// Only retire the file once the record verifiably landed in a
+		// segment; a failed append leaves the JSON entry for next time.
+		os.Remove(path)
+		c.met.migrations.Inc()
+	}
+	return b, true
 }
 
-// quarantine moves a corrupt entry aside (<key>.corrupt) so the bad
-// bytes are preserved for inspection, the slot is free for a clean
+// quarantine moves a corrupt legacy entry aside (<key>.corrupt) so the
+// bad bytes are preserved for inspection, the slot is free for a clean
 // rewrite, and the decode error is counted once instead of on every
 // lookup of that key.
 func (c *ResultCache) quarantine(path string) {
 	_ = os.Rename(path, strings.TrimSuffix(path, ".json")+".corrupt")
 }
 
-// writeDisk persists the already-encoded entry; the caller supplies
-// the canonical bytes so the disk store never marshals.
+// writeDisk persists the already-encoded entry to the segment store;
+// the caller supplies the canonical bytes so the disk tier never
+// marshals.
 func (c *ResultCache) writeDisk(key string, b []byte) {
-	path, ok := c.diskPath(key)
-	if !ok {
+	if !c.diskEligible(key) {
 		return
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.met.errWrite.Inc()
-		return
-	}
-	// Write-then-rename keeps readers from observing partial files.
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key)
-	if err != nil {
-		c.met.errWrite.Inc()
-		return
-	}
-	if _, err := tmp.Write(b); err == nil {
-		err = tmp.Close()
-		if err == nil {
-			if err := os.Rename(tmp.Name(), path); err != nil {
-				c.met.errWrite.Inc()
-			}
-			return
-		}
-	} else {
-		tmp.Close()
-	}
-	c.met.errWrite.Inc()
-	_ = os.Remove(tmp.Name())
+	c.store.append(key, b)
 }

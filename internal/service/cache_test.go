@@ -112,23 +112,16 @@ func TestCacheEvictionKeepsDiskCopy(t *testing.T) {
 	}
 }
 
-// TestCacheCorruptEntryQuarantined pins the corrupt-entry path: a disk
-// entry whose JSON does not parse is a miss (counted under
-// disk_errors.decode), is quarantined as <key>.corrupt so it is counted
-// once, and a clean rewrite of the same key works.
+// TestCacheCorruptEntryQuarantined pins the corrupt legacy-entry path:
+// a pre-segment JSON entry whose body does not parse is a miss (counted
+// under disk_errors.decode), is quarantined as <key>.corrupt so it is
+// counted once, and a clean rewrite of the same key works — into the
+// segment store, never back into a JSON file.
 func TestCacheCorruptEntryQuarantined(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewResultCache(8, dir)
-	if err != nil {
+	path := filepath.Join(dir, key(1)[:2], key(1)+".json")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		t.Fatal(err)
-	}
-	c.Put(key(1), metrics.Outcome{Steps: 1})
-
-	// Corrupt the entry on disk, then force a disk read via a fresh
-	// cache over the same dir.
-	path, ok := c.diskPath(key(1))
-	if !ok {
-		t.Fatal("disk store not enabled")
 	}
 	if err := os.WriteFile(path, []byte(`{"steps": 7,`), 0o644); err != nil {
 		t.Fatal(err)
@@ -137,6 +130,7 @@ func TestCacheCorruptEntryQuarantined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c2.Close()
 	if _, ok := c2.Get(key(1)); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
@@ -158,32 +152,36 @@ func TestCacheCorruptEntryQuarantined(t *testing.T) {
 	if st := c2.Stats(); st.DiskErrors.Decode != 1 {
 		t.Fatalf("decode errors after quarantine = %d, want still 1", st.DiskErrors.Decode)
 	}
-	// The slot is reusable.
+	// The slot is reusable, and the rewrite lands in the segment store.
 	c2.Put(key(1), metrics.Outcome{Steps: 2})
+	if st := c2.Stats(); st.Disk == nil || st.Disk.IndexEntries != 1 {
+		t.Fatalf("rewrite did not land in the segment store: %+v", st.Disk)
+	}
 	c3, err := NewResultCache(8, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c3.Close()
 	if got, ok := c3.Get(key(1)); !ok || got.Steps != 2 {
 		t.Fatalf("rewritten entry = %+v %v, want Steps=2", got, ok)
 	}
 }
 
-// TestCacheUnwritableDir pins write-error accounting: when the shard
-// directory cannot be created (a regular file sits where the directory
-// should be), Put still serves the entry from memory and counts the
-// failure under disk_errors.write.
+// TestCacheUnwritableDir pins write-error accounting: when the segment
+// append fails (the active segment's file handle is gone), Put still
+// serves the entry from memory and counts the failure under
+// disk_errors.write.
 func TestCacheUnwritableDir(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewResultCache(8, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Block the shard directory with a regular file (works even as
-	// root, unlike permission tricks).
-	if err := os.WriteFile(filepath.Join(dir, key(1)[:2]), nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	defer c.Close()
+	// Break the active segment under the store: every append now fails.
+	c.store.mu.Lock()
+	c.store.active.f.Close()
+	c.store.mu.Unlock()
 	c.Put(key(1), metrics.Outcome{Steps: 1})
 	if got, ok := c.Get(key(1)); !ok || got.Steps != 1 {
 		t.Fatal("memory entry must survive a disk write failure")
@@ -198,33 +196,52 @@ func TestCacheUnwritableDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c2.Close()
 	if _, ok := c2.Get(key(1)); ok {
 		t.Fatal("entry materialized on disk despite the write failure")
 	}
 }
 
-// TestCacheReadError pins read-error accounting: a directory sitting
-// where the entry file should be is a read failure (not a plain miss)
-// and counts under disk_errors.read.
+// TestCacheReadError pins read-error accounting: a segment payload that
+// can no longer be read (the file shrank behind the index) is a read
+// failure (not a plain miss), counts under disk_errors.read, and drops
+// the record so the next lookup is a plain miss.
 func TestCacheReadError(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewResultCache(8, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	path, ok := c.diskPath(key(1))
-	if !ok {
-		t.Fatal("disk store not enabled")
-	}
-	if err := os.MkdirAll(path, 0o755); err != nil {
+	c.Put(key(1), metrics.Outcome{Steps: 1})
+	c.Close()
+
+	// A fresh cache indexes the intact segment; then the file shrinks
+	// behind its back, so the indexed payload read fails.
+	c2, err := NewResultCache(8, dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(key(1)); ok {
+	defer c2.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "cache-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files: %v %v", segs, err)
+	}
+	if err := os.Truncate(segs[0], 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key(1)); ok {
 		t.Fatal("unexpected hit")
 	}
-	st := c.Stats()
+	st := c2.Stats()
 	if st.DiskErrors.Read != 1 {
 		t.Fatalf("disk_errors.read = %d, want 1", st.DiskErrors.Read)
+	}
+	// The record was dropped from the index: a retry is a plain miss.
+	if _, ok := c2.Get(key(1)); ok {
+		t.Fatal("dropped record served as a hit")
+	}
+	if st := c2.Stats(); st.DiskErrors.Read != 1 {
+		t.Fatalf("read errors after drop = %d, want still 1", st.DiskErrors.Read)
 	}
 }
 
@@ -283,31 +300,26 @@ func TestCacheEncodedServesCanonicalBytes(t *testing.T) {
 
 // TestCachePutResidentSkipsWrite pins the repeat-Put fast path: keys
 // are content hashes, so a Put of an already-resident key must not
-// re-marshal or rewrite the disk store. The sentinel planted in the
-// entry's disk slot surviving the second Put proves no write happened.
+// re-marshal or re-append to the segment store. The store's byte and
+// index accounting standing still across the second Put proves no
+// write happened.
 func TestCachePutResidentSkipsWrite(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewResultCache(8, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	out := metrics.Outcome{Steps: 11}
 	c.Put(key(5), out)
-	path, ok := c.diskPath(key(5))
-	if !ok {
-		t.Fatal("disk store not enabled")
-	}
-	sentinel := []byte(`{"sentinel":true}`)
-	if err := os.WriteFile(path, sentinel, 0o644); err != nil {
-		t.Fatal(err)
+	before := c.Stats().Disk
+	if before == nil || before.IndexEntries != 1 || before.LiveBytes == 0 {
+		t.Fatalf("first Put did not land on disk: %+v", before)
 	}
 	c.Put(key(5), out)
-	got, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got, sentinel) {
-		t.Fatalf("resident Put rewrote the disk entry: %s", got)
+	after := c.Stats().Disk
+	if after.LiveBytes != before.LiveBytes || after.IndexEntries != before.IndexEntries {
+		t.Fatalf("resident Put re-appended: before %+v after %+v", before, after)
 	}
 	// And the memory entry still serves.
 	if o, ok := c.Get(key(5)); !ok || o.Steps != 11 {
@@ -316,15 +328,17 @@ func TestCachePutResidentSkipsWrite(t *testing.T) {
 }
 
 // TestCacheShortKey pins the validated key helper: keys too short to
-// shard never touch the disk store but still work in memory.
+// have sharded in the legacy layout never touch the disk store but
+// still work in memory.
 func TestCacheShortKey(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewResultCache(8, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.diskPath("k"); ok {
-		t.Fatal("one-byte key must not map to a disk path")
+	defer c.Close()
+	if c.diskEligible("k") {
+		t.Fatal("one-byte key must not be disk-eligible")
 	}
 	c.Put("k", metrics.Outcome{Steps: 9})
 	if got, ok := c.Get("k"); !ok || got.Steps != 9 {
@@ -332,5 +346,8 @@ func TestCacheShortKey(t *testing.T) {
 	}
 	if st := c.Stats(); st.DiskErrors != (DiskErrorStats{}) {
 		t.Fatalf("short key counted as a disk error: %+v", st.DiskErrors)
+	}
+	if st := c.Stats(); st.Disk.IndexEntries != 0 {
+		t.Fatalf("short key reached the segment store: %+v", st.Disk)
 	}
 }

@@ -70,6 +70,14 @@ type Config struct {
 	CacheEntries int
 	// CacheDir, when non-empty, enables the on-disk result store.
 	CacheDir string
+	// CacheMaxBytes, when positive, bounds the on-disk segment store:
+	// past the budget the coldest sealed segments are GC'd whole. Zero
+	// means unbounded.
+	CacheMaxBytes int64
+	// CacheSegmentBytes bounds one cache segment file before rotation.
+	// Zero means the store default (16 MiB); tests shrink it to force
+	// rotation, compaction, and GC at tiny scale.
+	CacheSegmentBytes int64
 	// MaxJobRecords bounds how many finished standard-retention task
 	// records (jobs and explorations — runs/probes plus counters) are
 	// retained for status/results queries. The oldest finished records
@@ -259,7 +267,7 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) { return newDispatcher(cfg, 
 // tests.
 func newDispatcher(cfg Config, runFn func(*experiments.Runner, core.Options) (*core.Result, error)) (*Dispatcher, error) {
 	cfg = cfg.normalized()
-	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.Metrics)
+	cache, err := newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.CacheMaxBytes, cfg.CacheSegmentBytes, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -583,22 +591,22 @@ func (d *Dispatcher) taskView(id string, kind *TaskKind) (TaskView, bool) {
 // status, not only once it is done. The boolean is false for unknown
 // tasks; the error reports a task that has not finished, failed, or was
 // canceled.
-func (d *Dispatcher) taskResult(id string, kind *TaskKind) (any, string, *TaskKind, bool, error) {
+func (d *Dispatcher) taskResult(id string, kind *TaskKind) (any, string, *TaskKind, *SoleRunRef, bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	t, ok := d.tasks[id]
 	if !ok || (kind != nil && t.kind != kind) {
-		return nil, "", nil, false, nil
+		return nil, "", nil, nil, false, nil
 	}
 	switch t.status {
 	case StatusDone:
-		return t.result, t.hash, t.kind, true, nil
+		return t.result, t.hash, t.kind, t.prep.SoleRun, true, nil
 	case StatusFailed:
-		return nil, t.hash, t.kind, true, fmt.Errorf("service: %s %s failed: %s", t.kind.Name, id, t.errMsg)
+		return nil, t.hash, t.kind, nil, true, fmt.Errorf("service: %s %s failed: %s", t.kind.Name, id, t.errMsg)
 	case StatusCanceled:
-		return nil, t.hash, t.kind, true, fmt.Errorf("service: %s %s was canceled", t.kind.Name, id)
+		return nil, t.hash, t.kind, nil, true, fmt.Errorf("service: %s %s was canceled", t.kind.Name, id)
 	default:
-		return nil, t.hash, t.kind, true, fmt.Errorf("service: %s %s is %s", t.kind.Name, id, t.status)
+		return nil, t.hash, t.kind, nil, true, fmt.Errorf("service: %s %s is %s", t.kind.Name, id, t.status)
 	}
 }
 
@@ -606,7 +614,7 @@ func (d *Dispatcher) taskResult(id string, kind *TaskKind) (any, string, *TaskKi
 // kind's Wire marshal applied to the result, a pure function of the
 // normalized spec.
 func (d *Dispatcher) TaskResults(id string) (any, bool, error) {
-	result, hash, kind, ok, err := d.taskResult(id, nil)
+	result, hash, kind, _, ok, err := d.taskResult(id, nil)
 	if !ok || err != nil {
 		return nil, ok, err
 	}
@@ -736,6 +744,7 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 		if d.journal != nil {
 			d.journal.Close()
 		}
+		d.cache.Close()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
@@ -1208,7 +1217,7 @@ func (d *Dispatcher) Job(id string) (JobView, bool) { return d.taskView(id, JobK
 // false for unknown jobs; the error reports a job that has not finished
 // (or failed, or was canceled).
 func (d *Dispatcher) Results(id string) ([]experiments.RunOutcome, string, bool, error) {
-	result, hash, _, ok, err := d.taskResult(id, JobKind)
+	result, hash, _, _, ok, err := d.taskResult(id, JobKind)
 	if !ok || err != nil {
 		return nil, hash, ok, err
 	}
@@ -1235,7 +1244,7 @@ func (d *Dispatcher) Exploration(id string) (ExplorationView, bool) {
 
 // ExplorationResults returns the exploration's report once it is done.
 func (d *Dispatcher) ExplorationResults(id string) (*explore.Report, string, bool, error) {
-	result, hash, _, ok, err := d.taskResult(id, ExplorationKind)
+	result, hash, _, _, ok, err := d.taskResult(id, ExplorationKind)
 	if !ok || err != nil {
 		return nil, hash, ok, err
 	}
@@ -1260,7 +1269,7 @@ func (d *Dispatcher) Report(id string) (ReportView, bool) { return d.taskView(id
 
 // ReportResults returns the report's result once it is done.
 func (d *Dispatcher) ReportResults(id string) (*report.Result, string, bool, error) {
-	result, hash, _, ok, err := d.taskResult(id, ReportKind)
+	result, hash, _, _, ok, err := d.taskResult(id, ReportKind)
 	if !ok || err != nil {
 		return nil, hash, ok, err
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"adasim/internal/experiments"
@@ -57,7 +58,7 @@ func (s JobSpec) Prepare() (PreparedTask, error) {
 	if err != nil {
 		return PreparedTask{}, err
 	}
-	return PreparedTask{
+	prep := PreparedTask{
 		Hash:  hash,
 		Total: len(plan),
 		Run: func(env TaskEnv) (any, TaskStats, error) {
@@ -67,7 +68,11 @@ func (s JobSpec) Prepare() (PreparedTask, error) {
 			}
 			return outs, stats, nil
 		},
-	}, nil
+	}
+	if len(plan) == 1 && plan[0].CacheKey != "" {
+		prep.SoleRun = &SoleRunRef{Key: plan[0].Key, CacheKey: plan[0].CacheKey}
+	}
+	return prep, nil
 }
 
 // executePlan resolves a job's planned runs: cached runs short-circuit,
@@ -78,8 +83,13 @@ func (s JobSpec) Prepare() (PreparedTask, error) {
 func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, TaskStats, error) {
 	outs := make([]experiments.RunOutcome, len(plan))
 	var stats TaskStats
-	var missed []int
-	var reqs []experiments.RunRequest
+	// The working slices (miss list, request batch, completion flags)
+	// recycle through a pool: outs escapes as the result, but nothing
+	// here does — the executor contract (every in-flight run settled
+	// before Execute returns) means no reference outlives this call.
+	sc := planScratchPool.Get().(*planScratch)
+	defer sc.release()
+	missed, reqs := sc.missed, sc.reqs
 	for i, pr := range plan {
 		if env.Cache != nil {
 			if out, ok := env.Cache.Get(pr.CacheKey); ok {
@@ -92,6 +102,7 @@ func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, Task
 		missed = append(missed, i)
 		reqs = append(reqs, experiments.RunRequest{Key: pr.Key, Opts: pr.Opts})
 	}
+	sc.missed, sc.reqs = missed, reqs
 	progress := func() {
 		if env.Progress != nil {
 			env.Progress(stats.Completed, stats.CacheHits)
@@ -103,7 +114,7 @@ func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, Task
 	// only for runs that finished without error, and the executor waits
 	// for every in-flight run before returning, so the flags (and the
 	// outs slots they guard) are final once Execute returns.
-	succeeded := make([]atomic.Bool, len(reqs))
+	succeeded := sc.flags(len(reqs))
 	base, hits := int64(stats.Completed), stats.CacheHits
 	var ran int64
 	onDone := func(j int, _ experiments.RunOutcome) {
@@ -138,4 +149,38 @@ func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, Task
 	}
 	progress()
 	return outs, stats, nil
+}
+
+// planScratch holds executePlan's per-call working slices so warm jobs
+// (mostly or fully cache-served) do not re-grow them per task.
+type planScratch struct {
+	missed    []int
+	reqs      []experiments.RunRequest
+	succeeded []atomic.Bool
+}
+
+var planScratchPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+// flags returns n zeroed completion flags backed by the scratch.
+func (sc *planScratch) flags(n int) []atomic.Bool {
+	if cap(sc.succeeded) < n {
+		sc.succeeded = make([]atomic.Bool, n)
+	} else {
+		sc.succeeded = sc.succeeded[:n]
+		for j := range sc.succeeded {
+			sc.succeeded[j].Store(false)
+		}
+	}
+	return sc.succeeded
+}
+
+// release clears the request batch (core.Options holds pointers the GC
+// should not see pinned by a pooled slice) and returns the scratch.
+func (sc *planScratch) release() {
+	sc.missed = sc.missed[:0]
+	for j := range sc.reqs {
+		sc.reqs[j] = experiments.RunRequest{}
+	}
+	sc.reqs = sc.reqs[:0]
+	planScratchPool.Put(sc)
 }

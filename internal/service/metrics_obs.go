@@ -177,6 +177,19 @@ type cacheMetrics struct {
 	errRead    *obs.Counter
 	errDecode  *obs.Counter
 	diskRead   *obs.Histogram
+
+	// Segment-store handles (see segstore.go). Registered even when the
+	// disk tier is off — an unused series at zero is cheaper to reason
+	// about than a conditionally-present one.
+	segments     *obs.Gauge
+	indexEntries *obs.Gauge
+	segLiveBytes *obs.Gauge
+	segDeadBytes *obs.Gauge
+	compactions  *obs.Counter
+	gcSegments   *obs.Counter
+	gcBytes      *obs.Counter
+	migrations   *obs.Counter
+	corrupt      *obs.Counter
 }
 
 func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
@@ -198,6 +211,15 @@ func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
 		errDecode:  reg.Counter("adasim_cache_disk_errors_total", errHelp, obs.L("op", "decode")),
 		diskRead: reg.Histogram("adasim_cache_disk_read_seconds",
 			"Disk result-store read latency (successful reads and misses).", diskReadBuckets),
+		segments:     reg.Gauge("adasim_cache_segments", "Segment files in the disk result store (active included)."),
+		indexEntries: reg.Gauge("adasim_cache_index_entries", "Keys resolvable in the segment-store index."),
+		segLiveBytes: reg.Gauge("adasim_cache_segment_live_bytes", "Segment-store bytes the index still points at."),
+		segDeadBytes: reg.Gauge("adasim_cache_segment_dead_bytes", "Segment-store bytes awaiting compaction (superseded or corrupt records)."),
+		compactions:  reg.Counter("adasim_cache_compactions_total", "Dead-heavy cache segments rewritten and deleted by the compactor."),
+		gcSegments:   reg.Counter("adasim_cache_gc_segments_total", "Cold cache segments dropped to stay under the byte budget."),
+		gcBytes:      reg.Counter("adasim_cache_gc_bytes_total", "Bytes reclaimed by cache-segment GC."),
+		migrations:   reg.Counter("adasim_cache_migrations_total", "Legacy JSON cache entries folded into segments on first read."),
+		corrupt:      reg.Counter("adasim_cache_corrupt_records_total", "Cache-segment records dropped: torn tails truncated at boot and CRC mismatches on read."),
 	}
 }
 

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"adasim/internal/experiments"
 	"adasim/internal/explore"
 	"adasim/internal/report"
 )
@@ -86,6 +89,36 @@ func TestKillAndRestartRecovery(t *testing.T) {
 		}
 	}
 
+	// Pre-seed j1's runs into cacheDir in the legacy one-JSON-file-
+	// per-entry layout: the crashing dispatcher must serve them through
+	// read-through migration, folding them into the segment store that
+	// the post-crash dispatcher then recovers from.
+	plan, err := j1Spec.Normalized().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedReqs := make([]experiments.RunRequest, len(plan))
+	for i, pr := range plan {
+		seedReqs[i] = experiments.RunRequest{Key: pr.Key, Opts: pr.Opts}
+	}
+	seeded, err := experiments.NewPool(2).Execute(seedReqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range plan {
+		b, err := json.Marshal(seeded[i].Outcome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := filepath.Join(cacheDir, pr.CacheKey[:2])
+		if err := os.MkdirAll(shard, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(shard, pr.CacheKey+".json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// The crashing dispatcher: submit everything, let j1 finish (seeding
 	// the disk cache), then halt while j2 occupies the scheduler and
 	// j3/x1/r1 sit in the queue.
@@ -101,6 +134,13 @@ func TestKillAndRestartRecovery(t *testing.T) {
 	}
 	if final := finalViews(t, d1, j1.ID)[j1.ID]; final.Status != StatusDone {
 		t.Fatalf("j1 pre-crash: %+v", final)
+	}
+	// Every j1 run was served by migrating a legacy JSON entry.
+	if hits := finalViews(t, d1, j1.ID)[j1.ID].CacheHits; hits != len(plan) {
+		t.Fatalf("j1 cache hits = %d, want %d (legacy pre-seed should have served it)", hits, len(plan))
+	}
+	if st := d1.Cache().Stats(); st.Disk == nil || st.Disk.Migrations != int64(len(plan)) {
+		t.Fatalf("legacy migrations = %+v, want %d", st.Disk, len(plan))
 	}
 	j2 := submitOccupier(t, d1, 60)
 	j3, err := d1.Submit(j3Spec)

@@ -517,13 +517,14 @@ func (h *workerHub) execute(reqs []experiments.RunRequest, onDone func(i int, ro
 	var localIdx []int
 	var wire []WireRun
 	var keys []string
+	var fp experiments.FingerprintScratch
 	for i, req := range reqs {
 		b, err := experiments.MarshalOptions(req.Opts)
 		if err != nil {
 			localIdx = append(localIdx, i) // trace/ML runs stay local
 			continue
 		}
-		key, err := experiments.RunFingerprint(req.Opts)
+		key, err := fp.Fingerprint(req.Opts)
 		if err != nil {
 			localIdx = append(localIdx, i)
 			continue

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adasim/internal/core"
+	"adasim/internal/experiments"
+	"adasim/internal/fi"
+	"adasim/internal/scenario"
+)
+
+// TestSeedLegacyCacheDir is not a regression test: it is the seeding
+// helper behind scripts/recover_smoke.sh's migration leg, gated behind
+// ADASIM_SEED_LEGACY_DIR so the normal suite skips it. It executes a
+// small fixed job spec and writes every run outcome into the target
+// directory in the legacy one-JSON-file-per-entry layout (dir/<key
+// prefix>/<key>.json), then writes the spec itself to
+// ADASIM_SEED_SPEC_OUT — so the smoke test can hand a real daemon a
+// pre-segment-store cache directory and submit the exact spec those
+// entries satisfy, proving read-through migration against the real
+// binaries.
+func TestSeedLegacyCacheDir(t *testing.T) {
+	dir := os.Getenv("ADASIM_SEED_LEGACY_DIR")
+	if dir == "" {
+		t.Skip("seeding helper; set ADASIM_SEED_LEGACY_DIR to use it")
+	}
+	spec := JobSpec{
+		Scenarios:     []scenario.ID{scenario.S1},
+		Gaps:          []float64{60},
+		Reps:          4,
+		Steps:         2000,
+		BaseSeed:      11,
+		Fault:         fi.DefaultParams(fi.TargetRelDistance),
+		Interventions: core.InterventionSet{Driver: true, SafetyCheck: true},
+	}
+	plan, err := spec.Normalized().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]experiments.RunRequest, len(plan))
+	for i, pr := range plan {
+		reqs[i] = experiments.RunRequest{Key: pr.Key, Opts: pr.Opts}
+	}
+	outs, err := experiments.NewPool(2).Execute(reqs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range plan {
+		b, err := json.Marshal(outs[i].Outcome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := filepath.Join(dir, pr.CacheKey[:2])
+		if err := os.MkdirAll(shard, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(shard, pr.CacheKey+".json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out := os.Getenv("ADASIM_SEED_SPEC_OUT"); out != "" {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("seeded %d legacy cache entries into %s", len(plan), dir)
+}

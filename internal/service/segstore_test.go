@@ -1,0 +1,299 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adasim/internal/metrics"
+)
+
+// openTestStore builds a segment store with a private metrics registry
+// and closes it with the test.
+func openTestStore(t *testing.T, dir string, segMax, maxBytes int64) *segStore {
+	t.Helper()
+	s, err := openSegStore(dir, segMax, maxBytes, newCacheMetrics(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+	return s
+}
+
+// segFiles lists the store's segment files.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "cache-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestSegStoreTornTail pins SIGKILL-style crash recovery: garbage after
+// the last whole record (the residue of a crash mid-append) is
+// truncated at boot and counted once; every whole record survives and
+// the store keeps appending.
+func TestSegStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0, 0)
+	for i := 0; i < 3; i++ {
+		s.append(key(i), []byte(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+	s.close()
+
+	// A torn append: a header that parses as an impossible record
+	// length, then trailing junk.
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want 1", segs)
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize, _ := f.Seek(0, 2)
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, dir, 0, 0)
+	for i := 0; i < 3; i++ {
+		got, ok := s2.read(key(i))
+		if !ok || !bytes.Equal(got, []byte(fmt.Sprintf(`{"n":%d}`, i))) {
+			t.Fatalf("record %d after torn-tail recovery = %q %v", i, got, ok)
+		}
+	}
+	if st := s2.stats(); st.CorruptRecords != 1 {
+		t.Fatalf("corrupt records = %d, want 1 (the torn tail)", st.CorruptRecords)
+	}
+	if info, err := os.Stat(segs[0]); err != nil || info.Size() != goodSize {
+		t.Fatalf("segment size = %d %v, want truncated back to %d", info.Size(), err, goodSize)
+	}
+	// The healed store accepts appends and a third boot sees everything.
+	s2.append(key(3), []byte(`{"n":3}`))
+	s2.close()
+	s3 := openTestStore(t, dir, 0, 0)
+	if got, ok := s3.read(key(3)); !ok || !bytes.Equal(got, []byte(`{"n":3}`)) {
+		t.Fatalf("post-recovery append = %q %v", got, ok)
+	}
+	if st := s3.stats(); st.IndexEntries != 4 {
+		t.Fatalf("index entries = %d, want 4", st.IndexEntries)
+	}
+}
+
+// TestSegStoreCorruptRecord pins payload-integrity accounting: a record
+// whose payload no longer matches its CRC reads as a miss, is counted
+// once, and is dropped from the index so retries are plain misses.
+func TestSegStoreCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0, 0)
+	s.append(key(1), []byte(`{"steps":11}`))
+	s.close()
+
+	segs := segFiles(t, dir)
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, _ := f.Seek(0, 2)
+	if _, err := f.WriteAt([]byte{'X'}, end-1); err != nil { // flip the payload's last byte
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, dir, 0, 0)
+	if st := s2.stats(); st.IndexEntries != 1 || st.CorruptRecords != 0 {
+		t.Fatalf("boot scan is a header walk, got %+v", st) // CRC is checked on read, not at boot
+	}
+	if _, ok := s2.read(key(1)); ok {
+		t.Fatal("corrupt record served")
+	}
+	st := s2.stats()
+	if st.CorruptRecords != 1 || st.IndexEntries != 0 {
+		t.Fatalf("after corrupt read: %+v, want 1 corrupt record, 0 index entries", st)
+	}
+	if _, ok := s2.read(key(1)); ok {
+		t.Fatal("dropped record served")
+	}
+	if st := s2.stats(); st.CorruptRecords != 1 {
+		t.Fatalf("corrupt records after retry = %d, want still 1", st.CorruptRecords)
+	}
+}
+
+// TestSegStoreCompaction pins the dead-space reclaim: once a sealed
+// segment is mostly dead, compaction rewrites its live records into the
+// active segment and deletes the file, and the moved records still
+// read back.
+func TestSegStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	payload := func(i int) []byte { return []byte(fmt.Sprintf(`{"v":%d,"pad":"0123456789"}`, i)) }
+	// ~104 B per record (12 framing + 64 key + ~28 payload): three per
+	// 400 B segment before rotation.
+	s := openTestStore(t, dir, 400, 0)
+	for i := 0; i < 6; i++ {
+		s.append(key(i), payload(i))
+	}
+	before := s.stats()
+	if before.Segments < 2 {
+		t.Fatalf("segments = %d, want rotation to have sealed at least one", before.Segments)
+	}
+	// Kill two of the first sealed segment's three records: > half dead.
+	s.deleteKey(key(0))
+	s.deleteKey(key(2))
+	s.compactNow()
+	st := s.stats()
+	if st.Compactions < 1 {
+		t.Fatalf("compactions = %d, want >= 1", st.Compactions)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cache-00000001.seg")); !os.IsNotExist(err) {
+		t.Fatalf("compacted segment file not deleted: %v", err)
+	}
+	if st.DeadBytes != 0 {
+		t.Fatalf("dead bytes = %d, want 0 after compaction", st.DeadBytes)
+	}
+	// The survivor moved but still reads; the deleted keys stay gone.
+	if got, ok := s.read(key(1)); !ok || !bytes.Equal(got, payload(1)) {
+		t.Fatalf("moved record = %q %v, want %q", got, ok, payload(1))
+	}
+	if _, ok := s.read(key(0)); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+	// And the rewritten layout survives a reboot.
+	s.close()
+	s2 := openTestStore(t, dir, 400, 0)
+	if got, ok := s2.read(key(1)); !ok || !bytes.Equal(got, payload(1)) {
+		t.Fatalf("moved record after reboot = %q %v", got, ok)
+	}
+}
+
+// TestSegStoreGC pins the byte budget: past -cache-max-bytes the
+// coldest sealed segments are dropped whole — never the active one,
+// and recently-read segments outlive never-read ones.
+func TestSegStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"v":0,"pad":"0123456789"}`)
+	// One ~102 B record per 100 B segment: every append seals the
+	// previous segment, so the store grows one cold segment at a time
+	// against a 450 B budget.
+	s := openTestStore(t, dir, 100, 450)
+	for i := 0; i < 4; i++ {
+		s.append(key(i), payload)
+	}
+	if st := s.stats(); st.GCSegments != 0 {
+		t.Fatalf("gc fired under budget: %+v", st)
+	}
+	// Warm segment 2 (key 1): the unread segment 1 must be the victim.
+	if _, ok := s.read(key(1)); !ok {
+		t.Fatal("warm read missed")
+	}
+	s.append(key(4), payload)
+	s.append(key(5), payload)
+	st := s.stats()
+	if st.GCSegments == 0 || st.GCBytes == 0 {
+		t.Fatalf("gc did not fire over budget: %+v", st)
+	}
+	if st.LiveBytes+st.DeadBytes > 450 {
+		t.Fatalf("store still over budget: %+v", st)
+	}
+	if _, ok := s.read(key(0)); ok {
+		t.Fatal("coldest segment survived GC")
+	}
+	if _, ok := s.read(key(1)); !ok {
+		t.Fatal("recently-read segment GC'd before never-read ones")
+	}
+	// The newest (active) record always survives.
+	if _, ok := s.read(key(5)); !ok {
+		t.Fatal("active segment GC'd")
+	}
+}
+
+// TestCacheLegacyMigration pins the read-through migration: a dir in
+// the old one-JSON-file-per-entry layout serves byte-identically
+// through a new cache, each entry folds into the segment store on first
+// touch (file removed, counted), and a second boot serves everything
+// from segments alone.
+func TestCacheLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	want := make(map[string][]byte)
+	for i := 0; i < 3; i++ {
+		out := metrics.NewOutcome()
+		out.Steps = 100 + i
+		out.Duration = float64(i) + 0.5
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := key(i)
+		want[k] = b
+		if err := os.MkdirAll(filepath.Join(dir, k[:2]), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, k[:2], k+".json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, b := range want {
+		enc, ok := c.Encoded(k)
+		if !ok || !bytes.Equal(enc, b) {
+			t.Fatalf("migrated Encoded(%s) = %q %v, want %q", k, enc, ok, b)
+		}
+		if _, err := os.Stat(filepath.Join(dir, k[:2], k+".json")); !os.IsNotExist(err) {
+			t.Fatalf("legacy file for %s not retired: %v", k, err)
+		}
+	}
+	st := c.Stats()
+	if st.Disk == nil || st.Disk.Migrations != 3 || st.Disk.IndexEntries != 3 {
+		t.Fatalf("migration stats = %+v, want 3 migrations, 3 index entries", st.Disk)
+	}
+	c.Close()
+
+	// Second boot: everything serves from segments, bytes unchanged,
+	// and the decoded form round-trips.
+	c2, err := NewResultCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for k, b := range want {
+		enc, ok := c2.Encoded(k)
+		if !ok || !bytes.Equal(enc, b) {
+			t.Fatalf("segment Encoded(%s) = %q %v, want %q", k, enc, ok, b)
+		}
+	}
+	if got, ok := c2.Get(key(0)); !ok || got.Steps != 100 {
+		t.Fatalf("migrated Get = %+v %v, want Steps=100", got, ok)
+	}
+	if st := c2.Stats(); st.Disk.Migrations != 0 {
+		t.Fatalf("second boot migrated again: %+v", st.Disk)
+	}
+
+	// Byte-identity with a never-migrated store: a fresh dir populated
+	// through Put serves the same canonical bytes.
+	fresh, err := NewResultCache(8, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	for i := 0; i < 3; i++ {
+		out := metrics.NewOutcome()
+		out.Steps = 100 + i
+		out.Duration = float64(i) + 0.5
+		fresh.Put(key(i), out)
+	}
+	for k, b := range want {
+		enc, ok := fresh.Encoded(k)
+		if !ok || !bytes.Equal(enc, b) {
+			t.Fatalf("fresh-store Encoded(%s) = %q, want %q (JSON-migrated vs fresh digress)", k, enc, b)
+		}
+	}
+}

@@ -200,6 +200,7 @@ type PlannedRun struct {
 func (s JobSpec) Plan() ([]PlannedRun, error) {
 	keys := experiments.Keys(s.Scenarios, s.Gaps, s.Reps)
 	plan := make([]PlannedRun, len(keys))
+	var fp experiments.FingerprintScratch
 	for i, key := range keys {
 		opts := core.Options{
 			Scenario:      scenario.DefaultSpec(key.Scenario, key.Gap),
@@ -208,7 +209,7 @@ func (s JobSpec) Plan() ([]PlannedRun, error) {
 			Seed:          experiments.SeedFor(s.BaseSeed, key, s.Salt),
 			Steps:         s.Steps,
 		}
-		cacheKey, err := experiments.RunFingerprint(opts)
+		cacheKey, err := fp.Fingerprint(opts)
 		if err != nil {
 			return nil, fmt.Errorf("service: fingerprinting run %v: %w", key, err)
 		}

@@ -9,10 +9,16 @@
 #      instrumentation overhead above 10% — the paired, interleaved
 #      A/B measurement of the observability layer (sequential A/B runs
 #      of this workload drift with the host and cannot gate anything).
+#   3. BenchmarkDiskCacheStore losing the segment store's contracted
+#      margins over the legacy JSON disk tier at 1e5 entries: serving a
+#      disk hit must stay >= 5x faster and the boot-time index rebuild
+#      >= 10x faster. Both are paired interleaved measurements, so the
+#      ratios gate cleanly even on a drifting host.
 #
-# Short bench times keep this a smoke test (~1 min): it catches
-# regressions of kind (an alloc appearing, overhead exploding), not
-# small percentage drifts — `make bench` tracks those.
+# Short bench times keep this a smoke test (a few minutes): it catches
+# regressions of kind (an alloc appearing, overhead exploding, a cache
+# speedup collapsing), not small percentage drifts — `make bench`
+# tracks those.
 set -eu
 
 GO=${GO:-go}
@@ -38,3 +44,15 @@ PCT=$(awk '/^BenchmarkInstrumentedMixedWorkload\/overhead/ { for (i = 1; i < NF;
 awk -v p="$PCT" 'BEGIN {
     if (p + 0 > 10) { printf "FAIL: instrumentation overhead %.1f%% exceeds 10%%\n", p; exit 1 }
     printf "ok: instrumentation overhead %.1f%% <= 10%%\n", p }'
+
+echo "bench-check: BenchmarkDiskCacheStore (segment store speedup gates)"
+$GO test -run '^$' -bench 'BenchmarkDiskCacheStore' \
+    -benchtime=20x -timeout 10m . | tee "$OUT"
+HIT=$(awk '/^BenchmarkDiskCacheStore\/disk_hit/ { for (i = 1; i < NF; i++) if ($(i+1) == "hit-speedup-x") print $i }' "$OUT")
+COLD=$(awk '/^BenchmarkDiskCacheStore\/cold_start/ { for (i = 1; i < NF; i++) if ($(i+1) == "coldstart-speedup-x") print $i }' "$OUT")
+[ -n "$HIT" ] || { echo "FAIL: no hit-speedup-x in disk cache bench output"; exit 1; }
+[ -n "$COLD" ] || { echo "FAIL: no coldstart-speedup-x in disk cache bench output"; exit 1; }
+awk -v h="$HIT" -v c="$COLD" 'BEGIN {
+    if (h + 0 < 5) { printf "FAIL: segment store disk hit only %.2fx faster than JSON tier (want >= 5x)\n", h; exit 1 }
+    if (c + 0 < 10) { printf "FAIL: segment store cold start only %.2fx faster than JSON tier (want >= 10x)\n", c; exit 1 }
+    printf "ok: segment store vs JSON tier: disk hit %.2fx >= 5x, cold start %.2fx >= 10x\n", h, c }'
