@@ -34,13 +34,18 @@ type DiskErrorStats struct {
 
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
-	Entries    int            `json:"entries"`
-	MaxSize    int            `json:"max_size"`
-	Hits       int64          `json:"hits"`
-	Misses     int64          `json:"misses"`
-	DiskHits   int64          `json:"disk_hits"`
-	Evictions  int64          `json:"evictions"`
-	DiskErrors DiskErrorStats `json:"disk_errors"`
+	Entries   int   `json:"entries"`
+	MaxSize   int   `json:"max_size"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	DiskHits  int64 `json:"disk_hits"`
+	Evictions int64 `json:"evictions"`
+	// EncodedHits/EncodedMisses count the Encoded lookups (the results
+	// serve path) within Hits/Misses, so clients polling a warm result
+	// can be discounted from the job-path hit rate.
+	EncodedHits   int64          `json:"encoded_hits"`
+	EncodedMisses int64          `json:"encoded_misses"`
+	DiskErrors    DiskErrorStats `json:"disk_errors"`
 	// Disk describes the segment store; nil when the disk tier is off.
 	Disk *SegmentStoreStats `json:"disk,omitempty"`
 }
@@ -78,14 +83,14 @@ type ResultCache struct {
 // per key — on first Put or on disk promotion — and never again: warm
 // serves hand out the stored bytes instead of re-marshaling, and a
 // repeat Put of a resident key skips both the marshal and the disk
-// write. The decode is just as lazy: a disk hit promoted through
-// Encoded parks the verified bytes here undecoded, and the unmarshal
-// happens only if a Get ever wants the struct.
+// write. Every resident entry holds a valid decoded outcome: disk
+// promotions (Get and Encoded alike) unmarshal once before insertion,
+// so bytes the current schema rejects never become resident — and
+// never get served verbatim.
 type cacheEntry struct {
-	key     string
-	out     metrics.Outcome
-	enc     []byte
-	decoded bool
+	key string
+	out metrics.Outcome
+	enc []byte
 }
 
 // NewResultCache builds a cache holding up to maxEntries outcomes in
@@ -137,24 +142,8 @@ func (c *ResultCache) Close() {
 func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		e := el.Value.(*cacheEntry)
-		if !e.decoded {
-			// Promoted through Encoded and never needed as a struct until
-			// now; decode once and keep it.
-			if err := json.Unmarshal(e.enc, &e.out); err != nil {
-				c.removeLocked(el)
-				c.mu.Unlock()
-				c.met.errDecode.Inc()
-				if c.store != nil {
-					c.store.deleteKey(key)
-				}
-				c.met.misses.Inc()
-				return metrics.Outcome{}, false
-			}
-			e.decoded = true
-		}
 		c.ll.MoveToFront(el)
-		out := e.out
+		out := el.Value.(*cacheEntry).out
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		return out, true
@@ -174,7 +163,7 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 			return metrics.Outcome{}, false
 		}
 		c.mu.Lock()
-		c.insertLocked(key, out, enc, true)
+		c.insertLocked(key, out, enc)
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		c.met.diskHits.Inc()
@@ -188,10 +177,14 @@ func (c *ResultCache) Get(key string) (metrics.Outcome, bool) {
 // Encoded returns the canonical JSON encoding of the outcome stored
 // under key, for serving verbatim (io.Copy via bytes.Reader) without a
 // re-marshal. The bytes are the cache's single encoding of the entry:
-// callers must not mutate them. Lookup semantics match Get (memory,
-// then disk, with LRU promotion and hit/miss accounting) — but a disk
-// hit here skips the unmarshal entirely: the CRC-verified bytes are
-// promoted undecoded and served as-is.
+// callers must not mutate them. Lookup semantics match Get exactly —
+// memory, then disk, with LRU promotion, hit/miss accounting, and the
+// same decode validation on disk promotion: bytes Get would reject (a
+// CRC-clean record of an older schema, say a migrated legacy entry)
+// are rejected here too, never handed to a client verbatim. Encoded
+// additionally counts into the encoded-reads series, so the results-
+// serve path (clients polling a warm result) can be discounted from
+// the job-path hit rate it would otherwise skew.
 func (c *ResultCache) Encoded(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -202,23 +195,40 @@ func (c *ResultCache) Encoded(key string) ([]byte, bool) {
 			// Resident but never encodable (marshal failed on Put);
 			// there are no canonical bytes to serve.
 			c.met.misses.Inc()
+			c.met.encodedMisses.Inc()
 			return nil, false
 		}
 		c.met.hits.Inc()
+		c.met.encodedHits.Inc()
 		return enc, true
 	}
 	c.mu.Unlock()
 
 	if enc, ok := c.readDisk(key); ok {
+		var out metrics.Outcome
+		if err := json.Unmarshal(enc, &out); err != nil {
+			// Same posture as Get: schema mismatch, counted once, record
+			// dropped — a verbatim serve of bytes the current schema no
+			// longer produces would push them all the way to a client.
+			c.met.errDecode.Inc()
+			if c.store != nil {
+				c.store.deleteKey(key)
+			}
+			c.met.misses.Inc()
+			c.met.encodedMisses.Inc()
+			return nil, false
+		}
 		c.mu.Lock()
-		c.insertLocked(key, metrics.Outcome{}, enc, false)
+		c.insertLocked(key, out, enc)
 		c.mu.Unlock()
 		c.met.hits.Inc()
 		c.met.diskHits.Inc()
+		c.met.encodedHits.Inc()
 		return enc, true
 	}
 
 	c.met.misses.Inc()
+	c.met.encodedMisses.Inc()
 	return nil, false
 }
 
@@ -231,15 +241,8 @@ func (c *ResultCache) Encoded(key string) ([]byte, bool) {
 // accelerator, never a correctness dependency.
 func (c *ResultCache) Put(key string, out metrics.Outcome) {
 	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		if !e.decoded {
-			// The caller just handed us the decoded form; keep it rather
-			// than pay a later unmarshal.
-			e.out = out
-			e.decoded = true
-		}
+	if _, ok := c.items[key]; ok {
+		c.ll.MoveToFront(c.items[key])
 		c.mu.Unlock()
 		return
 	}
@@ -251,7 +254,7 @@ func (c *ResultCache) Put(key string, out metrics.Outcome) {
 		// keep the memory entry so Get still works and count the write
 		// failure where it used to be counted.
 		c.mu.Lock()
-		c.insertLocked(key, out, nil, true)
+		c.insertLocked(key, out, nil)
 		c.mu.Unlock()
 		if c.diskEligible(key) {
 			c.met.errWrite.Inc()
@@ -259,26 +262,23 @@ func (c *ResultCache) Put(key string, out metrics.Outcome) {
 		return
 	}
 	c.mu.Lock()
-	c.insertLocked(key, out, enc, true)
+	c.insertLocked(key, out, enc)
 	c.mu.Unlock()
 	c.writeDisk(key, enc)
 }
 
 // insertLocked adds or refreshes an entry; c.mu must be held.
-func (c *ResultCache) insertLocked(key string, out metrics.Outcome, enc []byte, decoded bool) {
+func (c *ResultCache) insertLocked(key string, out metrics.Outcome, enc []byte) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
-		if decoded {
-			e.out = out
-			e.decoded = true
-		}
+		e.out = out
 		if enc != nil {
 			e.enc = enc
 		}
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out, enc: enc, decoded: decoded})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out, enc: enc})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.removeLocked(oldest)
@@ -298,12 +298,14 @@ func (c *ResultCache) removeLocked(el *list.Element) {
 // exposes, so the two surfaces cannot disagree.
 func (c *ResultCache) Stats() CacheStats {
 	st := CacheStats{
-		Entries:   int(c.met.entries.Value()),
-		MaxSize:   int(c.met.maxEntries.Value()),
-		Hits:      int64(c.met.hits.Value()),
-		Misses:    int64(c.met.misses.Value()),
-		DiskHits:  int64(c.met.diskHits.Value()),
-		Evictions: int64(c.met.evictions.Value()),
+		Entries:       int(c.met.entries.Value()),
+		MaxSize:       int(c.met.maxEntries.Value()),
+		Hits:          int64(c.met.hits.Value()),
+		Misses:        int64(c.met.misses.Value()),
+		DiskHits:      int64(c.met.diskHits.Value()),
+		Evictions:     int64(c.met.evictions.Value()),
+		EncodedHits:   int64(c.met.encodedHits.Value()),
+		EncodedMisses: int64(c.met.encodedMisses.Value()),
 		DiskErrors: DiskErrorStats{
 			Write:  int64(c.met.errWrite.Value()),
 			Read:   int64(c.met.errRead.Value()),

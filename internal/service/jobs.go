@@ -83,10 +83,10 @@ func (s JobSpec) Prepare() (PreparedTask, error) {
 func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, TaskStats, error) {
 	outs := make([]experiments.RunOutcome, len(plan))
 	var stats TaskStats
-	// The working slices (miss list, request batch, completion flags)
-	// recycle through a pool: outs escapes as the result, but nothing
-	// here does — the executor contract (every in-flight run settled
-	// before Execute returns) means no reference outlives this call.
+	// The working slices (miss list, request batch) recycle through a
+	// pool: outs escapes as the result, and the executors only read reqs
+	// before their Execute returns, so neither reference outlives this
+	// call. The completion flags are deliberately NOT pooled — see below.
 	sc := planScratchPool.Get().(*planScratch)
 	defer sc.release()
 	missed, reqs := sc.missed, sc.reqs
@@ -111,10 +111,21 @@ func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, Task
 	progress()
 
 	// succeeded[j] records per-run completion: the worker invokes onDone
-	// only for runs that finished without error, and the executor waits
-	// for every in-flight run before returning, so the flags (and the
-	// outs slots they guard) are final once Execute returns.
-	succeeded := sc.flags(len(reqs))
+	// only for runs that finished without error. The slice is a per-call
+	// allocation, never pooled: when Execute fails (a cancellation tick,
+	// a batch exhausting its lease attempts), the worker hub can deliver
+	// a completion that was already in flight and invoke onDone after
+	// Execute has returned. The flags are atomic and the slice is
+	// reachable only from this call, so such a late store is harmless —
+	// a pooled slice could have been recycled into another job by then,
+	// and the stray store would mark one of its never-run requests as
+	// succeeded and Put a zero-value outcome under a real content hash.
+	// A flag observed true always guards a valid outcome: the hub writes
+	// the result slot under its lock before invoking onDone.
+	var succeeded []atomic.Bool
+	if len(reqs) > 0 {
+		succeeded = make([]atomic.Bool, len(reqs))
+	}
 	base, hits := int64(stats.Completed), stats.CacheHits
 	var ran int64
 	onDone := func(j int, _ experiments.RunOutcome) {
@@ -152,27 +163,16 @@ func executePlan(plan []PlannedRun, env TaskEnv) ([]experiments.RunOutcome, Task
 }
 
 // planScratch holds executePlan's per-call working slices so warm jobs
-// (mostly or fully cache-served) do not re-grow them per task.
+// (mostly or fully cache-served) do not re-grow them per task. The
+// completion flags live outside it on purpose: a failed Execute can see
+// one last onDone after it returns, so the flags must stay reachable
+// only from their own call (see executePlan).
 type planScratch struct {
-	missed    []int
-	reqs      []experiments.RunRequest
-	succeeded []atomic.Bool
+	missed []int
+	reqs   []experiments.RunRequest
 }
 
 var planScratchPool = sync.Pool{New: func() any { return new(planScratch) }}
-
-// flags returns n zeroed completion flags backed by the scratch.
-func (sc *planScratch) flags(n int) []atomic.Bool {
-	if cap(sc.succeeded) < n {
-		sc.succeeded = make([]atomic.Bool, n)
-	} else {
-		sc.succeeded = sc.succeeded[:n]
-		for j := range sc.succeeded {
-			sc.succeeded[j].Store(false)
-		}
-	}
-	return sc.succeeded
-}
 
 // release clears the request batch (core.Options holds pointers the GC
 // should not see pinned by a pooled slice) and returns the scratch.

@@ -409,9 +409,13 @@ func (h *workerHub) Complete(workerID, leaseID string, outcomes []metrics.Outcom
 		h.cache.Put(key, outcomes[j])
 	}
 	if delivered {
-		// onDone before the call can finish: executors must not return
-		// before every completion hook has run (executePlan reads the
-		// flags its onDone sets right after Execute returns).
+		// onDone before settle: on the success path every completion
+		// hook has run by the time the last settle releases the waiter.
+		// On the failure path there is no such guarantee — a failCall
+		// between the delivered check above and these hooks releases the
+		// waiter first, and this onDone fires after Execute returned.
+		// Hook state must therefore be per-call and atomic (executePlan's
+		// completion flags are exactly that), never recycled storage.
 		if c.onDone != nil {
 			for _, i := range b.idx {
 				h.mu.Lock()
@@ -657,7 +661,9 @@ func (h *workerHub) reclaim(c *remoteCall) []*runBatch {
 
 // runReclaimed executes reclaimed batches on the local shard executor
 // and delivers their outcomes exactly like a remote completion (minus
-// the cache write — the task layer caches fresh outcomes itself).
+// the cache write — the task layer caches fresh outcomes itself),
+// including the completion hooks running outside the lock after the
+// delivered check, with the same late-onDone caveat as Complete.
 func (h *workerHub) runReclaimed(c *remoteCall, batches []*runBatch, local Executor) error {
 	var idx []int
 	for _, b := range batches {

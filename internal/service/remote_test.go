@@ -12,6 +12,7 @@ import (
 	"errors"
 	"log/slog"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -425,4 +426,67 @@ func TestRemoteExecutorFallsBackWithNoWorkers(t *testing.T) {
 		t.Fatalf("execute: %v", err)
 	}
 	requireOuts(t, outs, reqs)
+}
+
+// TestCanceledCallLateCompletionIsCacheOnly pins the abandoned-call
+// contract: the waiter cancels while a worker holds a live lease, so
+// the completion lands after execute has already returned. The hub must
+// demote it to cache-only — the outcomes still enter the shared
+// content-addressed cache, but the call's onDone hook (whose state the
+// waiter may have released) must never fire.
+func TestCanceledCallLateCompletionIsCacheOnly(t *testing.T) {
+	h := testHub(t, time.Second, 2)
+	w, err := h.Register("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := hubReqs(t, 2)
+
+	var stop atomic.Bool
+	var hookCalls atomic.Int64
+	done := make(chan execResult, 1)
+	go func() {
+		outs, err := h.execute(reqs, func(int, experiments.RunOutcome) {
+			hookCalls.Add(1)
+		}, experiments.NewPool(1), stop.Load)
+		done <- execResult{outs, err}
+	}()
+
+	grant := leaseUntilGrant(t, h, w)
+	outcomes := executeGrant(t, grant)
+
+	// Cancel while the lease is live: execute returns before the worker
+	// reports back.
+	stop.Store(true)
+	res := <-done
+	if !errors.Is(res.err, ErrCanceled) {
+		t.Fatalf("execute err = %v, want ErrCanceled", res.err)
+	}
+
+	resp, err := h.Complete(w, grant.LeaseID, outcomes, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || resp.Duplicate {
+		t.Fatalf("late completion resp = %+v, want accepted non-duplicate", resp)
+	}
+	if got := hookCalls.Load(); got != 0 {
+		t.Errorf("onDone fired %d times after the call was abandoned", got)
+	}
+
+	// The finished work is still valid content-addressed results.
+	var fp experiments.FingerprintScratch
+	for i, req := range reqs {
+		key, err := fp.Fingerprint(req.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, ok := h.cache.Get(key)
+		if !ok {
+			t.Fatalf("run %d missing from cache after late completion", i)
+		}
+		if out != outcomes[i] {
+			t.Errorf("run %d cached outcome diverges from the worker's result", i)
+		}
+	}
 }

@@ -98,6 +98,14 @@ const (
 	// compactDeadFraction is the compaction trigger: a sealed segment
 	// more than half dead gets its live records rewritten out.
 	compactDeadFraction = 0.5
+
+	// compactBatchBytes bounds how many live bytes one compaction lock
+	// hold may move. Compaction of a 16 MiB segment under a single write
+	// lock would stall every disk-tier read and append for the whole
+	// rewrite — the exact latency spike the segment store exists to
+	// remove — so the compactor works in slices this big and yields the
+	// lock between them.
+	compactBatchBytes = 1 << 20
 )
 
 var crcCastagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -154,6 +162,13 @@ type cacheSegment struct {
 	keys   []string
 	refs   []segRef
 	sealed bool
+
+	// compactAt is the compactor's resume cursor into keys: records
+	// before it have already been moved out (or found dead). It lets
+	// compaction proceed in bounded slices — releasing the store lock
+	// between them so reads and appends never stall behind a whole-
+	// segment rewrite — and pick up where it left off on the next hold.
+	compactAt int
 
 	// lastRead is the store's logical read clock at this segment's most
 	// recent read — the GC coldness order.
@@ -543,9 +558,15 @@ func (s *segStore) createSegment(seq int) (*cacheSegment, error) {
 
 // read returns the payload stored under key, CRC-verified. A mismatch
 // drops the record from the index (counted once, the quarantine analog)
-// and reads as a miss.
+// and reads as a miss. A closed store reads as a plain miss: requests
+// racing Drain/Close must not touch the released descriptors (and
+// inflate the disk-error counters on every shutdown doing so).
 func (s *segStore) read(key string) ([]byte, bool) {
 	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, false
+	}
 	ref, ok := s.index[key]
 	if !ok {
 		s.mu.RUnlock()
@@ -568,19 +589,29 @@ func (s *segStore) read(key string) ([]byte, bool) {
 	return buf[4:], true
 }
 
-// has reports whether key currently resolves on disk.
+// has reports whether key currently resolves on disk. A closed store
+// resolves nothing (matching read), so migration callers keep their
+// legacy files instead of trusting a store that can no longer serve.
 func (s *segStore) has(key string) bool {
 	s.mu.RLock()
-	_, ok := s.index[key]
+	ok := false
+	if !s.closed {
+		_, ok = s.index[key]
+	}
 	s.mu.RUnlock()
 	return ok
 }
 
 // drop removes key's index entry if it still points at ref, turning the
 // record into dead bytes and kicking the compactor when its segment
-// crosses the dead threshold.
+// crosses the dead threshold. A no-op after close: a read that raced
+// shutdown must not mutate the index behind the released store.
 func (s *segStore) drop(key string, ref segRef) {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	if cur, ok := s.index[key]; ok && cur == ref {
 		delete(s.index, key)
 		ref.seg.live -= segRecordTotal(key, int(ref.plen))
@@ -592,9 +623,14 @@ func (s *segStore) drop(key string, ref segRef) {
 
 // deleteKey removes key's index entry regardless of which record it
 // points at — the cache uses it when canonical bytes fail to decode
-// (a schema mismatch, not a storage fault, so the CRC passed).
+// (a schema mismatch, not a storage fault, so the CRC passed). A no-op
+// after close, like drop.
 func (s *segStore) deleteKey(key string) {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	if ref, ok := s.index[key]; ok {
 		delete(s.index, key)
 		ref.seg.live -= segRecordTotal(key, int(ref.plen))
@@ -759,60 +795,94 @@ func (s *segStore) compactor() {
 
 // compactNow rewrites the live records out of every sealed segment past
 // the dead threshold and deletes it. Tests call it directly; production
-// reaches it through the compactor goroutine.
+// reaches it through the compactor goroutine. The write lock is taken
+// per bounded slice (compactBatchBytes), never for a whole multi-
+// segment — or even whole-segment — rewrite, so concurrent reads and
+// appends interleave with compaction instead of stalling behind it.
 func (s *segStore) compactNow() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for {
+		s.mu.Lock()
 		if s.closed {
+			s.mu.Unlock()
 			return
 		}
 		var victim *cacheSegment
 		for _, seg := range s.segs {
+			// A partially-compacted segment (cursor advanced) only ever
+			// gets deader, so it re-selects until done; the cursor check
+			// is belt and braces against float edge cases at the
+			// threshold.
 			if seg.sealed && seg.size > 0 &&
-				float64(seg.dead())/float64(seg.size) > compactDeadFraction {
+				(seg.compactAt > 0 ||
+					float64(seg.dead())/float64(seg.size) > compactDeadFraction) {
 				victim = seg
 				break
 			}
 		}
 		if victim == nil {
+			s.mu.Unlock()
 			return
 		}
-		s.compactSegmentLocked(victim)
+		ok := s.compactSliceLocked(victim)
+		s.mu.Unlock()
+		if !ok {
+			// The destination write failed; leave the remaining records
+			// where they are and abandon this round rather than losing
+			// data. The cursor keeps its place for the next kick.
+			return
+		}
 	}
 }
 
-// compactSegmentLocked moves a segment's live records into the active
-// segment and deletes it. A record that fails its CRC during the move
-// is dropped and counted, like any other corrupt read. s.mu must be
-// held.
-func (s *segStore) compactSegmentLocked(seg *cacheSegment) {
-	for _, key := range seg.keys {
+// compactSliceLocked moves up to compactBatchBytes of seg's live
+// records into the active segment, resuming at seg.compactAt; once the
+// cursor clears the key list the emptied segment is deleted. A record
+// that fails its CRC during the move is dropped and counted, like any
+// other corrupt read. Returns false when the destination write failed
+// (caller abandons the round). s.mu must be held.
+func (s *segStore) compactSliceLocked(seg *cacheSegment) bool {
+	var moved int64
+	for seg.compactAt < len(seg.keys) && moved < compactBatchBytes {
+		key := seg.keys[seg.compactAt]
 		ref, ok := s.index[key]
 		if !ok || ref.seg != seg {
+			seg.compactAt++
 			continue
 		}
+		total := segRecordTotal(key, int(ref.plen))
 		buf := make([]byte, 4+int(ref.plen))
 		if _, err := seg.f.ReadAt(buf, ref.off); err != nil {
 			s.met.errRead.Inc()
 			delete(s.index, key)
+			seg.live -= total
+			seg.compactAt++
 			continue
 		}
 		if crc32.Checksum(buf[4:], crcCastagnoli) != binary.LittleEndian.Uint32(buf[:4]) {
 			s.met.corrupt.Inc()
 			delete(s.index, key)
+			seg.live -= total
+			seg.compactAt++
 			continue
 		}
-		moved, ok := s.writeRecordLocked(key, buf[4:])
+		dst, ok := s.writeRecordLocked(key, buf[4:])
 		if !ok {
-			// The destination write failed; leave the record where it is
-			// and abandon this compaction round rather than losing data.
-			return
+			return false
 		}
-		s.index[key] = moved
+		s.index[key] = dst
+		// The old copy is dead the moment the index points at the new
+		// one; keeping seg.live truthful mid-compaction keeps the stats
+		// and gauges from double-counting the moved record.
+		seg.live -= total
+		seg.compactAt++
+		moved += total
 	}
-	s.removeSegmentLocked(seg)
-	s.met.compactions.Inc()
+	if seg.compactAt >= len(seg.keys) {
+		s.removeSegmentLocked(seg)
+		s.met.compactions.Inc()
+	}
+	s.publishGaugesLocked()
+	return true
 }
 
 // stats snapshots the store under the read lock.

@@ -297,3 +297,31 @@ func TestCacheLegacyMigration(t *testing.T) {
 		}
 	}
 }
+
+// TestSegStoreClosedReadsMiss: shutdown closes the segment fds while
+// readers may still hold the store; a read after close must be a plain
+// miss — no closed-fd read error counted, no index mutation via the
+// corrupt-record drop path — and the data stays intact for reopen.
+func TestSegStoreClosedReadsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0, 0)
+	s.append(key(1), []byte(`{"n":1}`))
+	if _, ok := s.read(key(1)); !ok {
+		t.Fatal("record unreadable before close")
+	}
+	s.close()
+	if _, ok := s.read(key(1)); ok {
+		t.Fatal("closed store served a read")
+	}
+	if s.has(key(1)) {
+		t.Fatal("closed store claims to hold a key")
+	}
+	s.deleteKey(key(1)) // must be a no-op after close
+	if got := s.met.errRead.Value(); got != 0 {
+		t.Errorf("read errors after closed-store read = %d, want 0", got)
+	}
+	s2 := openTestStore(t, dir, 0, 0)
+	if got, ok := s2.read(key(1)); !ok || !bytes.Equal(got, []byte(`{"n":1}`)) {
+		t.Fatalf("record after reopen = %q %v", got, ok)
+	}
+}
